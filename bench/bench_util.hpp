@@ -1,0 +1,54 @@
+// Shared plumbing for the bench binaries: tiny flag parser and common
+// formatting. Every bench prints the paper artifact it regenerates plus the
+// knobs it was run with, so bench_output.txt is self-describing.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tlm::bench {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  bool has(std::string_view name) const {
+    for (const auto& a : args_)
+      if (a == name) return true;
+    return false;
+  }
+
+  std::uint64_t u64(std::string_view name, std::uint64_t def) const {
+    const std::string prefix = std::string(name) + "=";
+    for (const auto& a : args_)
+      if (a.rfind(prefix, 0) == 0)
+        return std::strtoull(a.c_str() + prefix.size(), nullptr, 0);
+    return def;
+  }
+
+  double f64(std::string_view name, double def) const {
+    const std::string prefix = std::string(name) + "=";
+    for (const auto& a : args_)
+      if (a.rfind(prefix, 0) == 0)
+        return std::strtod(a.c_str() + prefix.size(), nullptr);
+    return def;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+inline void banner(std::string_view title, std::string_view paper_ref) {
+  std::cout << "\n################################################################\n"
+            << "# " << title << "\n"
+            << "# reproduces: " << paper_ref << "\n"
+            << "################################################################\n";
+}
+
+}  // namespace tlm::bench

@@ -1,0 +1,69 @@
+// S3 — §V-A: the memory-boundedness predicate y·log Z < x, including the
+// paper's worked example (Z ≈ 1e6, x ≈ 1e10, y ≈ 1e9) and a sweep showing
+// the instance size cancels out of the predicate.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "memmodel/membound.hpp"
+
+namespace tlm {
+namespace {
+
+int run(const bench::Flags&) {
+  bench::banner("membound_predictor",
+                "§V-A analysis: when does sorting become memory-bandwidth "
+                "bound (y·log Z < x)");
+
+  // The worked example from the paper.
+  {
+    model::NodeThroughput t{1e10, 1e9, 1e6};
+    std::cout << "paper example (x=1e10, y=1e9, Z=1e6): ratio="
+              << Table::num(model::boundedness_ratio(t), 3)
+              << " -> 10^9·log(10^6) ≈ 10^10: right at the boundary\n";
+  }
+
+  Table t("boundedness ratio x / (y·lgZ) across node designs");
+  t.header({"cores", "x (cmp/s)", "y (elem/s)", "Z (blocks)", "ratio",
+            "verdict", "N=1e6 est (s)", "N=1e9 est (s)"});
+  const double per_core = 1.7e9;
+  for (std::size_t cores : {64ULL, 128ULL, 256ULL, 512ULL}) {
+    for (double y : {7.5e9, 3.75e9}) {  // 60 GB/s and 30 GB/s of u64
+      model::NodeThroughput node{per_core * static_cast<double>(cores), y,
+                                 1e6};
+      const auto e6 = model::sort_time_estimate(node, 1e6);
+      const auto e9 = model::sort_time_estimate(node, 1e9);
+      t.row({std::to_string(cores), Table::num(node.compare_rate, 0),
+             Table::num(y, 0), "1e6",
+             Table::num(model::boundedness_ratio(node), 3),
+             model::memory_bound(node) ? "memory-bound" : "compute-bound",
+             Table::num(e6.predicted_s, 6), Table::num(e9.predicted_s, 3)});
+    }
+  }
+  std::cout << t;
+
+  // Instance-size cancellation: the verdict must match for any N.
+  bool cancels = true;
+  for (std::size_t cores : {64ULL, 128ULL, 256ULL, 512ULL}) {
+    model::NodeThroughput node{per_core * static_cast<double>(cores), 7.5e9,
+                               1e6};
+    cancels &= model::sort_time_estimate(node, 1e5).memory_bound ==
+               model::sort_time_estimate(node, 1e10).memory_bound;
+  }
+  std::cout << "shape: verdict independent of instance size N: "
+            << (cancels ? "yes" : "NO") << "\n";
+  std::cout << "shape: min cores at 60 GB/s STREAM, Z=1e6, ideal 1 cmp/cycle"
+               " cores: "
+            << model::min_cores_for_memory_bound(per_core, 7.5e9, 1e6)
+            << "; with the paper's rougher effective rates (x≈1e10 at 256 "
+               "cores, y≈1e9) the flip lands between 128 and 256 cores, "
+               "matching their simulations\n";
+  return cancels ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tlm
+
+int main(int argc, char** argv) {
+  return tlm::run(tlm::bench::Flags(argc, argv));
+}

@@ -1,0 +1,128 @@
+// M1 — google-benchmark microbenchmarks of the algorithmic primitives on
+// the host: loser-tree merging, splitter selection, the parallel multiway
+// mergesort, NMsort end-to-end, and the near-arena allocator. These measure
+// real wall-clock of the native implementations (the counting layer's
+// overhead is part of what is measured, as it is in every experiment).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/loser_tree.hpp"
+#include "common/rng.hpp"
+#include "scratchpad/machine.hpp"
+#include "sort/sort.hpp"
+
+namespace tlm {
+namespace {
+
+TwoLevelConfig micro_config() {
+  TwoLevelConfig cfg = test_config(4.0);
+  cfg.near_capacity = 8 * MiB;
+  cfg.threads = 2;  // the host has one core; keep oversubscription mild
+  return cfg;
+}
+
+void BM_LoserTreeMerge(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const std::size_t per_run = 1 << 14;
+  std::vector<std::vector<std::uint64_t>> runs(k);
+  Xoshiro256 rng(1);
+  for (auto& r : runs) {
+    r.resize(per_run);
+    for (auto& x : r) x = rng.next();
+    std::sort(r.begin(), r.end());
+  }
+  std::vector<std::uint64_t> out(k * per_run);
+  for (auto _ : state) {
+    std::vector<LoserTree<std::uint64_t>::Run> rs;
+    for (const auto& r : runs) rs.push_back({r.data(), r.data() + r.size()});
+    LoserTree<std::uint64_t> tree(std::move(rs));
+    benchmark::DoNotOptimize(tree.merge_into(out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * per_run));
+}
+BENCHMARK(BM_LoserTreeMerge)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_StdSortReference(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto base = random_keys(n, 2);
+  std::vector<std::uint64_t> v;
+  for (auto _ : state) {
+    v = base;
+    std::sort(v.begin(), v.end());
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_StdSortReference)->Arg(1 << 16)->Arg(1 << 19);
+
+void BM_MultiwayMergeSort(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto base = random_keys(n, 3);
+  Machine m(micro_config());
+  std::vector<std::uint64_t> v;
+  for (auto _ : state) {
+    v = base;
+    m.adopt_far(v.data(), v.size() * 8);
+    sort::gnu_like_sort(m, std::span<std::uint64_t>(v));
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MultiwayMergeSort)->Arg(1 << 16)->Arg(1 << 19);
+
+void BM_NMsort(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto base = random_keys(n, 4);
+  Machine m(micro_config());
+  std::vector<std::uint64_t> out(n);
+  for (auto _ : state) {
+    sort::nm_sort_into(m, std::span<const std::uint64_t>(base),
+                       std::span<std::uint64_t>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NMsort)->Arg(1 << 16)->Arg(1 << 19);
+
+void BM_SequentialScratchpadSort(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto base = random_keys(n, 5);
+  TwoLevelConfig cfg = micro_config();
+  cfg.threads = 1;
+  Machine m(cfg);
+  std::vector<std::uint64_t> v;
+  for (auto _ : state) {
+    v = base;
+    sort::scratchpad_sort(m, std::span<std::uint64_t>(v));
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SequentialScratchpadSort)->Arg(1 << 16)->Arg(1 << 18);
+
+void BM_NearArenaAllocFree(benchmark::State& state) {
+  NearArena arena(16 * MiB);
+  std::vector<std::byte*> ptrs;
+  ptrs.reserve(256);
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) ptrs.push_back(arena.allocate(1024));
+    for (std::byte* p : ptrs) arena.deallocate(p);
+    ptrs.clear();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          512);
+}
+BENCHMARK(BM_NearArenaAllocFree);
+
+}  // namespace
+}  // namespace tlm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// S1 — the §I/§V claim: "a linear reduction in running time for our
+// algorithm when increasing the bandwidth from two to eight times".
+//
+// Sweeps the bandwidth-expansion factor ρ and reports NMsort's modeled time
+// (counting backend across the full sweep; the cycle simulator corroborates
+// a subset unless --quick). The GNU baseline is ρ-independent — it never
+// touches the scratchpad — and anchors the series.
+#include <iostream>
+
+#include "analysis/experiment.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+namespace tlm {
+namespace {
+
+using analysis::Algorithm;
+
+int run(const bench::Flags& flags) {
+  const bool quick = flags.has("--quick");
+  const std::size_t cores =
+      static_cast<std::size_t>(flags.u64("--cores", 8));
+  const std::uint64_t n = flags.u64("--n", 1ULL << 20);
+  const std::uint64_t near_cap = flags.u64("--near-mb", 1) * MiB;
+  const std::uint64_t seed = flags.u64("--seed", 41);
+
+  bench::banner("sweep_bandwidth",
+                "§V-B / §I claim: linear time reduction from 2x to 8x "
+                "scratchpad bandwidth");
+  std::cout << "cores=" << cores << " n=" << n << " near=" << near_cap / MiB
+            << "MiB\n";
+
+  const TwoLevelConfig base = analysis::scaled_counting_config(1.0, cores,
+                                                               near_cap);
+  const analysis::SortRun gnu =
+      analysis::run_sort_counting(base, Algorithm::GnuSort, n, seed);
+
+  Table t("NMsort time vs bandwidth expansion ρ (GNU baseline = ρ-invariant)");
+  t.header({"rho", "NMsort model (s)", "NMsort near time (s)",
+            "speedup vs GNU", "sim time (s)", "sim speedup"});
+
+  double prev_time = 0;
+  bool monotone = true;
+  for (double rho : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const TwoLevelConfig cfg =
+        analysis::scaled_counting_config(rho, cores, near_cap);
+    const analysis::SortRun nm =
+        analysis::run_sort_counting(cfg, Algorithm::NMsort, n, seed);
+    if (!nm.verified) return 1;
+
+    double near_s = 0;
+    for (const auto& ph : nm.counting.phases) near_s += ph.near_s;
+
+    std::string sim_cell = "-", sim_speedup = "-";
+    if (!quick && (rho == 2.0 || rho == 8.0)) {
+      // Corroborate the endpoints on the cycle simulator at a smaller size.
+      const std::uint64_t sim_n = std::min<std::uint64_t>(n, 640'000);
+      const auto nm_sim = analysis::simulate_sort(
+          rho, cores, sim_n, near_cap, Algorithm::NMsort, seed);
+      const auto gnu_sim = analysis::simulate_sort(
+          rho, cores, sim_n, near_cap, Algorithm::GnuSort, seed);
+      sim_cell = Table::num(nm_sim.report.seconds, 6);
+      sim_speedup =
+          Table::num(gnu_sim.report.seconds / nm_sim.report.seconds, 3);
+    }
+
+    if (prev_time > 0 && nm.modeled_seconds > prev_time * 1.0001)
+      monotone = false;
+    prev_time = nm.modeled_seconds;
+
+    t.row({Table::num(rho, 1), Table::num(nm.modeled_seconds, 6),
+           Table::num(near_s, 6),
+           Table::num(gnu.modeled_seconds / nm.modeled_seconds, 3), sim_cell,
+           sim_speedup});
+  }
+  std::cout << t;
+  std::cout << "shape: NMsort time monotonically non-increasing in rho: "
+            << (monotone ? "yes" : "NO") << "\n";
+  std::cout << "shape: scratchpad-bound component scales ~1/rho (linear "
+               "reduction), far component is the rho-independent floor\n";
+  return monotone ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tlm
+
+int main(int argc, char** argv) {
+  return tlm::run(tlm::bench::Flags(argc, argv));
+}

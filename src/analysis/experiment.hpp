@@ -1,0 +1,83 @@
+// Experiment harness: runs {algorithm × backend × configuration} and
+// returns uniform results for the bench binaries that regenerate the
+// paper's tables and figures.
+//
+// Two backends are offered:
+//  * counting — the Machine's analytic traffic/time model (fast; used for
+//    sweeps and theory validation), and
+//  * capture  — the same run with a TraceBuffer attached, producing the
+//    per-thread op streams that sim::System replays cycle-level (Table I).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "scratchpad/config.hpp"
+#include "scratchpad/counters.hpp"
+#include "sim/system.hpp"
+#include "sort/sort.hpp"
+#include "trace/capture.hpp"
+
+namespace tlm::analysis {
+
+enum class Algorithm {
+  GnuSort,             // single-level parallel multiway mergesort baseline
+  NMsort,              // §IV-D practical near-memory sort
+  NMsortNaive,         // NMsort with eager bucket scatter (ablation A2)
+  ScratchpadSeq,       // §III sequential recursive sort, mergesort inner
+  ScratchpadSeqQuick,  // §III with quicksort inner (Corollary 7 / A1)
+  ScratchpadPar,       // §IV-C theoretical parallel sort (Theorem 10)
+};
+
+const char* to_string(Algorithm a);
+
+struct SortRun {
+  Algorithm algorithm = Algorithm::GnuSort;
+  std::uint64_t n = 0;
+  double rho = 1.0;
+  bool verified = false;   // output checked against std::sort
+  MachineStats counting;   // analytic traffic + modeled time
+  double modeled_seconds = 0;
+  double host_seconds = 0;  // real wall-clock of the native run
+};
+
+// Runs `a` on `n` random 64-bit keys under the counting backend.
+SortRun run_sort_counting(const TwoLevelConfig& cfg, Algorithm a,
+                          std::uint64_t n, std::uint64_t seed);
+
+struct CaptureRun {
+  SortRun counting;          // the counting-side view of the same run
+  trace::TraceBuffer trace;  // per-thread op streams for sim::System
+};
+
+// Same run with trace capture attached (the Ariel role).
+CaptureRun capture_sort_trace(const TwoLevelConfig& cfg, Algorithm a,
+                              std::uint64_t n, std::uint64_t seed);
+
+// Effective machine operations retired per modeled comparison: compare,
+// data movement, and branch misprediction cost in a sort inner loop. Mirrors
+// the paper's effective processing rate (their §V-A example uses x ≈ 1e10
+// for 256 cores at 1.7 GHz, i.e. far below 1 comparison/cycle) and places
+// the simulated node near the memory-boundedness boundary, as theirs was.
+inline constexpr double kOpsPerComparison = 8.0;
+
+// The counting-backend configuration matching sim::SystemConfig::scaled:
+// per-core 1.7 GHz effective comparison rate, far bandwidth shrunk with the
+// core count so the x : y compute-to-bandwidth ratio equals the paper's
+// 256-core node, and the algorithm-structure cache (run sizing, merge
+// fan-in) matching the scaled node's L2.
+TwoLevelConfig scaled_counting_config(double rho, std::size_t cores,
+                                      std::uint64_t near_capacity_bytes);
+
+// Convenience: capture a trace and replay it on the matching scaled
+// simulator node. Returns the cycle-level report plus the counting view.
+struct SimulatedSort {
+  SortRun counting;
+  sim::SimReport report;
+};
+SimulatedSort simulate_sort(double rho, std::size_t cores, std::uint64_t n,
+                            std::uint64_t near_capacity_bytes, Algorithm a,
+                            std::uint64_t seed,
+                            std::uint64_t max_events = ~0ULL);
+
+}  // namespace tlm::analysis

@@ -1,0 +1,46 @@
+// Experiment-grid runner and CSV artifact writer: the machinery behind
+// EXPERIMENTS.md's appendix. Runs every (algorithm × rho × cores × n)
+// combination under the counting backend and emits one CSV row per run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+
+namespace tlm::analysis {
+
+struct SweepGrid {
+  std::vector<Algorithm> algorithms{Algorithm::GnuSort, Algorithm::NMsort};
+  std::vector<double> rhos{2.0, 4.0, 8.0};
+  std::vector<std::size_t> cores{8};
+  std::vector<std::uint64_t> ns{1 << 19};
+  std::uint64_t near_capacity = 1 * MiB;
+  std::uint64_t seed = 101;
+};
+
+struct SweepRow {
+  Algorithm algorithm;
+  double rho;
+  std::size_t cores;
+  std::uint64_t n;
+  bool verified;
+  double model_seconds;
+  std::uint64_t far_bytes, near_bytes;
+  std::uint64_t far_blocks, near_blocks;
+  std::uint64_t far_bursts, near_bursts;
+  double compute_ops;
+};
+
+// Runs the full cartesian grid; rows come back in iteration order
+// (algorithm-major).
+std::vector<SweepRow> run_sweep(const SweepGrid& grid);
+
+// Serializes rows as CSV (header + one line per row).
+std::string to_csv(const std::vector<SweepRow>& rows);
+
+// Convenience: run and write to `path`; returns the row count.
+std::size_t write_sweep_csv(const SweepGrid& grid, const std::string& path);
+
+}  // namespace tlm::analysis

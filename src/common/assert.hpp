@@ -1,0 +1,48 @@
+// Lightweight contract-checking macros.
+//
+// TLM_REQUIRE is for precondition validation of public APIs: it throws
+// std::invalid_argument so callers (and tests) can observe the failure.
+// TLM_CHECK is for internal invariants: it throws std::logic_error.
+// Both stay enabled in release builds; the cost model of this library is
+// dominated by memory traffic, not branch checks.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tlm {
+
+namespace detail {
+
+[[noreturn]] inline void throw_requirement(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace detail
+
+#define TLM_REQUIRE(expr, msg)                                          \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::tlm::detail::throw_requirement(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#define TLM_CHECK(expr, msg)                                          \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::tlm::detail::throw_invariant(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+}  // namespace tlm

@@ -1,0 +1,124 @@
+// Tournament (loser) tree for k-way merging.
+//
+// Both the multiway mergesort baseline and NMsort's Phase 2 merge Θ(N/M)
+// sorted runs; a loser tree does that with ceil(log2 k) comparisons per
+// emitted element and no heap churn.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace tlm {
+
+// Merges k sorted input cursors. The tree stores run indices; comparisons go
+// through the current head element of each run. Exhausted runs always lose,
+// so they sink to the bottom of the tournament. The merge is stable: ties are
+// broken by run index.
+template <typename T, typename Compare = std::less<T>>
+class LoserTree {
+ public:
+  struct Run {
+    const T* begin = nullptr;
+    const T* end = nullptr;
+  };
+
+  explicit LoserTree(std::vector<Run> runs, Compare cmp = Compare())
+      : runs_(std::move(runs)), cmp_(cmp) {
+    TLM_REQUIRE(!runs_.empty(), "loser tree needs at least one run");
+    k_ = runs_.size();
+    m_ = 1;
+    while (m_ < k_) m_ <<= 1;
+    // Pad with permanently-empty runs so every leaf participates in the
+    // tournament and every internal node gets a well-defined loser.
+    runs_.resize(m_, Run{});
+    cursors_.resize(m_);
+    for (std::size_t i = 0; i < m_; ++i) cursors_[i] = runs_[i].begin;
+    remaining_ = 0;
+    for (std::size_t i = 0; i < k_; ++i)
+      remaining_ += static_cast<std::size_t>(runs_[i].end - runs_[i].begin);
+    tree_.assign(m_, kInvalid);
+    for (std::size_t i = 0; i < m_; ++i) replay(i);
+  }
+
+  bool done() const { return remaining_ == 0; }
+  std::size_t remaining() const { return remaining_; }
+
+  // Index of the run currently holding the global minimum.
+  std::size_t top_run() const { return winner_; }
+
+  // Current read cursor of run `r` — lets callers charge block-granular
+  // traffic as the merge consumes each run.
+  const T* cursor(std::size_t r) const { return cursors_[r]; }
+
+  const T& top() const {
+    TLM_CHECK(!done(), "top() on exhausted loser tree");
+    return *cursors_[winner_];
+  }
+
+  // Pops the minimum and replays the tournament along one root-to-leaf path.
+  T pop() {
+    TLM_CHECK(!done(), "pop() on exhausted loser tree");
+    const std::size_t r = winner_;
+    T value = *cursors_[r]++;
+    --remaining_;
+    replay(r);
+    return value;
+  }
+
+  // Drains min(remaining, out.size()) elements into `out`; returns the count.
+  std::size_t merge_into(std::span<T> out) {
+    std::size_t n = 0;
+    while (!done() && n < out.size()) out[n++] = pop();
+    return n;
+  }
+
+ private:
+  bool run_empty(std::size_t r) const { return cursors_[r] == runs_[r].end; }
+
+  // True when run `a` should be preferred over (sort before) run `b`.
+  bool beats(std::size_t a, std::size_t b) const {
+    if (run_empty(a)) return false;
+    if (run_empty(b)) return true;
+    if (cmp_(*cursors_[a], *cursors_[b])) return true;
+    if (cmp_(*cursors_[b], *cursors_[a])) return false;
+    return a < b;  // stable tie-break on run index
+  }
+
+  // Challenger `run` climbs from its leaf to the root. During construction a
+  // challenger parks in the first empty slot it meets; exactly one challenger
+  // per build passes the root and becomes the winner. After construction the
+  // path is always fully populated, so replay ends at the root every time.
+  void replay(std::size_t run) {
+    std::size_t cur = run;
+    for (std::size_t node = (run + m_) / 2; node >= 1; node /= 2) {
+      std::size_t& loser = tree_[node];
+      if (loser == kInvalid) {
+        loser = cur;
+        return;
+      }
+      if (beats(loser, cur)) std::swap(loser, cur);
+      if (node == 1) break;
+    }
+    winner_ = cur;
+  }
+
+  static constexpr std::size_t kInvalid =
+      std::numeric_limits<std::size_t>::max();
+
+  std::vector<Run> runs_;
+  Compare cmp_;
+  std::size_t k_ = 0;  // real (unpadded) run count
+  std::size_t m_ = 0;  // leaves in the padded complete tree
+  std::vector<std::size_t> tree_;
+  std::vector<const T*> cursors_;
+  std::size_t winner_ = 0;
+  std::size_t remaining_ = 0;
+};
+
+}  // namespace tlm

@@ -1,0 +1,81 @@
+#include "common/thread_pool.hpp"
+
+namespace tlm {
+
+ThreadPool::ThreadPool(std::size_t workers) : workers_(workers) {
+  TLM_REQUIRE(workers >= 1, "pool needs at least one worker");
+  threads_.reserve(workers_ - 1);
+  for (std::size_t i = 1; i < workers_; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run_spmd(const std::function<void(std::size_t)>& fn) {
+  if (workers_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    job_ = &fn;
+    remaining_ = workers_ - 1;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  fn(0);
+  std::unique_lock lock(mu_);
+  cv_done_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      job = job_;
+    }
+    (*job)(id);
+    {
+      std::lock_guard lock(mu_);
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::chunk(std::size_t n,
+                                                      std::size_t w,
+                                                      std::size_t p) {
+  TLM_REQUIRE(p >= 1 && w < p, "worker index out of range");
+  const std::size_t base = n / p;
+  const std::size_t extra = n % p;
+  const std::size_t begin = w * base + std::min(w, extra);
+  const std::size_t len = base + (w < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  TLM_REQUIRE(begin <= end, "empty-forward range required");
+  const std::size_t n = end - begin;
+  if (n == 0) return;
+  run_spmd([&](std::size_t w) {
+    auto [lo, hi] = chunk(n, w, workers_);
+    if (lo < hi) fn(w, begin + lo, begin + hi);
+  });
+}
+
+}  // namespace tlm

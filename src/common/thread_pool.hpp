@@ -1,0 +1,63 @@
+// A fixed-size worker pool with fork/join parallel_for.
+//
+// The paper's node model is `p` cores sharing one scratchpad; every parallel
+// algorithm here expresses its parallelism as static range splits over this
+// pool so that thread id <-> simulated core id is a stable mapping (the trace
+// capture layer depends on that stability).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace tlm {
+
+class ThreadPool {
+ public:
+  // `workers == 1` runs everything inline on the calling thread, which keeps
+  // single-threaded experiments deterministic and cheap.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_; }
+
+  // Runs fn(worker_id) on every worker (including id 0 on the caller) and
+  // waits for all of them. This is the SPMD primitive everything builds on.
+  void run_spmd(const std::function<void(std::size_t)>& fn);
+
+  // Splits [begin, end) into `size()` near-equal contiguous chunks and runs
+  // fn(worker_id, chunk_begin, chunk_end) on each worker.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t,
+                                             std::size_t)>& fn);
+
+  // The chunk of [0, n) owned by worker `w` out of `p` workers: contiguous,
+  // sizes differ by at most one.
+  static std::pair<std::size_t, std::size_t> chunk(std::size_t n,
+                                                   std::size_t w,
+                                                   std::size_t p);
+
+ private:
+  void worker_loop(std::size_t id);
+
+  std::size_t workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  std::size_t remaining_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace tlm

@@ -1,0 +1,36 @@
+// Size, time, and rate unit helpers shared across the library.
+#pragma once
+
+#include <cstdint>
+
+namespace tlm {
+
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+
+// Decimal rates (memory vendors quote GB/s decimal).
+inline constexpr double KB = 1e3;
+inline constexpr double MB = 1e6;
+inline constexpr double GB = 1e9;
+
+// Simulation time is kept in picoseconds as an integer to avoid float drift
+// in the discrete-event core; 1 simulated second = 1e12 ticks.
+using SimTime = std::uint64_t;
+inline constexpr SimTime kPicosecond = 1;
+inline constexpr SimTime kNanosecond = 1000;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e12; }
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * 1e12);
+}
+
+// Converts a clock frequency in Hz to a period in ticks, rounded to nearest.
+constexpr SimTime period_from_hz(double hz) {
+  return static_cast<SimTime>(1e12 / hz + 0.5);
+}
+
+}  // namespace tlm

@@ -1,0 +1,204 @@
+#include "kmeans/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace tlm::kmeans {
+
+namespace {
+
+struct Partial {
+  std::vector<double> sum;      // k × d
+  std::vector<std::uint64_t> count;  // k
+  double inertia = 0;
+};
+
+// One Lloyd iteration over `points` (resident wherever `space_ptr` points),
+// charging each thread for its streaming reads and its k·d·3 flops/point.
+Partial iterate(Machine& m, const double* pts, std::size_t n,
+                const std::vector<double>& centroids,
+                const KMeansOptions& opt) {
+  const std::size_t d = opt.dims;
+  const std::size_t k = opt.k;
+  std::vector<Partial> parts(m.threads());
+  m.parallel_for(0, n, [&](std::size_t w, std::size_t lo,
+                                  std::size_t hi) {
+    Partial& p = parts[w];
+    p.sum.assign(k * d, 0.0);
+    p.count.assign(k, 0);
+    m.stream_read(w, pts + lo * d, (hi - lo) * d * sizeof(double));
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double* x = pts + i * d;
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        double dist = 0;
+        for (std::size_t j = 0; j < d; ++j) {
+          const double diff = x[j] - centroids[c * d + j];
+          dist += diff * diff;
+        }
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      for (std::size_t j = 0; j < d; ++j) p.sum[best_c * d + j] += x[j];
+      p.count[best_c] += 1;
+      p.inertia += best;
+    }
+    m.compute(w, static_cast<double>(hi - lo) * static_cast<double>(k) *
+                     static_cast<double>(d) * 3.0);
+  });
+  Partial out;
+  out.sum.assign(k * d, 0.0);
+  out.count.assign(k, 0);
+  for (const auto& p : parts) {
+    if (p.sum.empty()) continue;
+    for (std::size_t i = 0; i < k * d; ++i) out.sum[i] += p.sum[i];
+    for (std::size_t c = 0; c < k; ++c) out.count[c] += p.count[c];
+    out.inertia += p.inertia;
+  }
+  return out;
+}
+
+// Final labeling pass: assign every point to its nearest centroid and
+// stream the labels to far memory.
+void label_points(Machine& m, const double* pts, std::size_t n,
+                  KMeansResult& res, const KMeansOptions& opt) {
+  const std::size_t d = opt.dims;
+  const std::size_t k = opt.k;
+  res.assignments.assign(n, 0);
+  m.adopt_far(res.assignments.data(), n * sizeof(std::uint32_t));
+  m.parallel_for(0, n, [&](std::size_t w, std::size_t lo, std::size_t hi) {
+    m.stream_read(w, pts + lo * d, (hi - lo) * d * sizeof(double));
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double* x = pts + i * d;
+      double best = std::numeric_limits<double>::infinity();
+      std::uint32_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        double dist = 0;
+        for (std::size_t j = 0; j < d; ++j) {
+          const double diff = x[j] - res.centroids[c * d + j];
+          dist += diff * diff;
+        }
+        if (dist < best) {
+          best = dist;
+          best_c = static_cast<std::uint32_t>(c);
+        }
+      }
+      res.assignments[i] = best_c;
+    }
+    m.stream_write(w, res.assignments.data() + lo,
+                   (hi - lo) * sizeof(std::uint32_t));
+    m.compute(w, static_cast<double>(hi - lo) * static_cast<double>(k) *
+                     static_cast<double>(d) * 3.0);
+  });
+}
+
+KMeansResult lloyd(Machine& m, const double* pts, std::size_t n,
+                   std::span<const double> seed_source,
+                   const KMeansOptions& opt) {
+  const std::size_t d = opt.dims;
+  const std::size_t k = opt.k;
+  TLM_REQUIRE(k >= 1 && d >= 1 && n >= k, "need at least k points");
+
+  // Forgy initialization from the original (far) data.
+  KMeansResult res;
+  res.centroids.resize(k * d);
+  Xoshiro256 rng(opt.seed);
+  for (std::size_t c = 0; c < k; ++c) {
+    const std::uint64_t idx = rng.below(n);
+    m.stream_read(0, seed_source.data() + idx * d, d * sizeof(double));
+    for (std::size_t j = 0; j < d; ++j)
+      res.centroids[c * d + j] = seed_source[idx * d + j];
+  }
+
+  for (std::size_t it = 0; it < opt.max_iters; ++it) {
+    Partial p = iterate(m, pts, n, res.centroids, opt);
+    res.iterations = it + 1;
+    res.inertia = p.inertia;
+    double shift = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (p.count[c] == 0) continue;  // empty cluster: keep old centroid
+      for (std::size_t j = 0; j < d; ++j) {
+        const double nc =
+            p.sum[c * d + j] / static_cast<double>(p.count[c]);
+        const double diff = nc - res.centroids[c * d + j];
+        shift += diff * diff;
+        res.centroids[c * d + j] = nc;
+      }
+    }
+    m.compute(0, static_cast<double>(k) * static_cast<double>(d) * 4.0);
+    if (shift < opt.tol * opt.tol) {
+      res.converged = true;
+      break;
+    }
+  }
+  if (opt.produce_assignments) label_points(m, pts, n, res, opt);
+  return res;
+}
+
+}  // namespace
+
+KMeansResult kmeans_far(Machine& m, std::span<const double> points,
+                        const KMeansOptions& opt) {
+  TLM_REQUIRE(points.size() % opt.dims == 0, "points must be n × dims");
+  m.adopt_far(points.data(), points.size_bytes());
+  const std::size_t n = points.size() / opt.dims;
+  m.begin_phase("kmeans.far");
+  KMeansResult res = lloyd(m, points.data(), n, points, opt);
+  m.end_phase();
+  return res;
+}
+
+KMeansResult kmeans_near(Machine& m, std::span<const double> points,
+                         const KMeansOptions& opt) {
+  TLM_REQUIRE(points.size() % opt.dims == 0, "points must be n × dims");
+  TLM_REQUIRE(points.size_bytes() <= m.config().near_capacity,
+              "scratchpad k-means needs the points to fit in near memory");
+  m.adopt_far(points.data(), points.size_bytes());
+  const std::size_t n = points.size() / opt.dims;
+
+  m.begin_phase("kmeans.stage");
+  std::span<double> near = m.alloc_array<double>(Space::Near, points.size());
+  m.run_spmd([&](std::size_t w) {
+    auto [lo, hi] = ThreadPool::chunk(points.size(), w, m.threads());
+    if (lo < hi)
+      m.copy(w, near.data() + lo, points.data() + lo,
+             (hi - lo) * sizeof(double));
+  });
+
+  m.begin_phase("kmeans.near");
+  KMeansResult res = lloyd(m, near.data(), n, points, opt);
+  m.end_phase();
+  m.free_array(Space::Near, near);
+  return res;
+}
+
+std::vector<double> make_blobs(std::size_t n, std::size_t dims, std::size_t k,
+                               std::uint64_t seed) {
+  TLM_REQUIRE(n >= 1 && dims >= 1 && k >= 1, "bad blob geometry");
+  Xoshiro256 rng(seed);
+  // Blob centres on a coarse lattice, spread >> intra-blob noise.
+  std::vector<double> centres(k * dims);
+  for (auto& c : centres) c = 100.0 * static_cast<double>(rng.below(64));
+  std::vector<double> pts(n * dims);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = rng.below(k);
+    for (std::size_t j = 0; j < dims; ++j) {
+      // Sum of uniforms ≈ Gaussian noise, cheap and deterministic.
+      const double noise = (rng.uniform01() + rng.uniform01() +
+                            rng.uniform01() - 1.5) *
+                           4.0;
+      pts[i * dims + j] = centres[c * dims + j] + noise;
+    }
+  }
+  return pts;
+}
+
+}  // namespace tlm::kmeans

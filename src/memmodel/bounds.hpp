@@ -1,0 +1,76 @@
+// Closed-form transfer bounds from the paper, one function per statement.
+//
+// Every bound returns an *expected block-transfer count* (or block-transfer
+// steps for the parallel bounds) with all asymptotic constants set to 1, so
+// the theory-validation bench can compare measured counts against these
+// within a constant factor. Log ratios are clamped at 1 (a dataset always
+// costs at least one pass).
+#pragma once
+
+#include <cstdint>
+
+#include "memmodel/params.hpp"
+
+namespace tlm::model {
+
+// Theorem 1 [Aggarwal–Vitter]: sorting N elements through a size-Z cache with
+// block size L takes Θ((N/L) · log_{Z/L}(N/L)) transfers via multiway
+// mergesort with branching factor Z/L.
+double sort_bound_multiway(double n, double cache_z, double block_l);
+
+// Theorem 2 [Aggarwal–Vitter]: binary mergesort pays
+// Θ((N/L) · lg(N/Z)) transfers.
+double sort_bound_mergesort(double n, double cache_z, double block_l);
+
+// Corollary 3: sorting x ≤ M elements resident in the scratchpad.
+// Multiway mergesort: Θ((x/ρB) · log_{Z/B}(x/B)) scratchpad transfers.
+double inner_sort_bound_multiway(const ScratchpadModel& m, double x);
+// Quicksort variant: Θ((x/ρB) · lg(x/Z)) expected scratchpad transfers.
+double inner_sort_bound_quicksort(const ScratchpadModel& m, double x);
+
+// Lemma 4: one bucketizing scan over N elements.
+struct ScanCost {
+  double dram_transfers = 0;     // O(N/B)
+  double scratch_transfers = 0;  // O((N/ρB) · log_{Z/ρB}(M/ρB))
+  double ram_work = 0;           // O(N lg M) comparisons
+};
+ScanCost bucketizing_scan_cost(const ScratchpadModel& m, double n);
+
+// Lemma 5: number of bucketizing scans until every bucket fits in the
+// scratchpad, O(log_m(N/M)) with m = M/B (returned with constant 1, floor 1).
+double scan_rounds(const ScratchpadModel& m, double n);
+
+// Theorem 6: the optimal scratchpad sort.
+struct SortBound {
+  double dram_transfers = 0;     // O((N/B) · log_{M/B}(N/B))
+  double scratch_transfers = 0;  // O((N/ρB) · log_{Z/ρB}(N/B))
+  double total() const { return dram_transfers + scratch_transfers; }
+};
+SortBound scratchpad_sort_bound(const ScratchpadModel& m, double n);
+
+// The matching lower bound from Theorem 6's proof (same shape; kept separate
+// so tests can assert upper ≥ lower for all parameters).
+SortBound scratchpad_sort_lower_bound(const ScratchpadModel& m, double n);
+
+// Corollary 7: scratchpad sort using quicksort inside the scratchpad:
+// O((N/B)·log_{M/B}(N/B) + (N/ρB)·lg(M/Z)·log_{M/B}(N/B)) expected.
+SortBound scratchpad_sort_bound_quicksort(const ScratchpadModel& m, double n);
+// ... which is optimal when ρ = Ω(lg(M/Z)).
+double corollary7_min_rho(const ScratchpadModel& m);
+
+// Theorem 8 [PEM, Arge et al.]: Θ((N/p′L) · log_{Z/L}(N/L)) transfer steps.
+double pem_sort_bound(double n, double p_prime, double cache_z, double block_l);
+
+// Lemma 9: one *parallel* bucketizing scan.
+ScanCost parallel_scan_cost(const ScratchpadModel& m, double n);
+
+// Theorem 10: parallel scratchpad sort,
+// O((N/p′B)·log_{M/B}(N/B) + (N/p′ρB)·log_{Z/ρB}(N/B)) transfer steps.
+SortBound parallel_scratchpad_sort_bound(const ScratchpadModel& m, double n);
+
+// Predicted speedup of the scratchpad sort over the DRAM-only optimum
+// (Theorem 1 with L = B) in the block-transfer metric. §I claims this
+// approaches ρ for favourable parameters.
+double predicted_speedup(const ScratchpadModel& m, double n);
+
+}  // namespace tlm::model

@@ -1,0 +1,52 @@
+#include "memmodel/membound.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+
+namespace tlm::model {
+
+namespace {
+
+void require(const NodeThroughput& t) {
+  TLM_REQUIRE(t.compare_rate > 0, "compute rate must be positive");
+  TLM_REQUIRE(t.memory_rate > 0, "memory rate must be positive");
+  TLM_REQUIRE(t.cache_blocks >= 2, "cache must hold at least two blocks");
+}
+
+}  // namespace
+
+bool memory_bound(const NodeThroughput& t) {
+  return boundedness_ratio(t) > 1.0;
+}
+
+double boundedness_ratio(const NodeThroughput& t) {
+  require(t);
+  return t.compare_rate / (t.memory_rate * std::log2(t.cache_blocks));
+}
+
+std::uint64_t min_cores_for_memory_bound(double per_core_rate,
+                                         double memory_rate,
+                                         double cache_blocks) {
+  TLM_REQUIRE(per_core_rate > 0, "per-core rate must be positive");
+  TLM_REQUIRE(memory_rate > 0 && cache_blocks >= 2, "bad node parameters");
+  const double threshold = memory_rate * std::log2(cache_blocks);
+  return static_cast<std::uint64_t>(std::floor(threshold / per_core_rate)) + 1;
+}
+
+TimeEstimate sort_time_estimate(const NodeThroughput& t, double n) {
+  require(t);
+  TLM_REQUIRE(n >= 2, "need at least two elements to sort");
+  const double work = n * std::log2(n);
+  TimeEstimate e;
+  e.compute_s = work / t.compare_rate;
+  // Minimum aggregate transfer volume is N·logN / log m elements [Thm 1];
+  // with m proportional to Z this is the paper's N·logN / (y·log Z).
+  e.memory_s = work / (t.memory_rate * std::log2(t.cache_blocks));
+  e.memory_bound = e.memory_s > e.compute_s;
+  e.predicted_s = e.memory_bound ? e.memory_s : e.compute_s;
+  return e;
+}
+
+}  // namespace tlm::model

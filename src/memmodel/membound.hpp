@@ -1,0 +1,46 @@
+// §V-A: when does sorting become memory-bandwidth bound?
+//
+// With processing rate x (comparisons/s), memory bandwidth y (elements/s
+// between off-chip memory and cache), and Z cache blocks, the paper derives
+//     N·logN / x  <  N·logN / (y·log Z)   ⟺   y·log Z < x,
+// i.e. the instance size cancels. These helpers evaluate the predicate and
+// invert it for the co-design questions the paper asks (how many cores before
+// a scratchpad pays off?).
+#pragma once
+
+#include <cstdint>
+
+namespace tlm::model {
+
+struct NodeThroughput {
+  double compare_rate = 0;   // x: aggregate comparisons per second
+  double memory_rate = 0;    // y: DRAM<->cache bandwidth, elements per second
+  double cache_blocks = 0;   // Z: on-chip capacity in blocks
+};
+
+// True when the configuration is memory-bandwidth bound (compute outpaces
+// memory): y · lg Z < x.
+bool memory_bound(const NodeThroughput& t);
+
+// The dimensionless boundedness ratio x / (y · lg Z); > 1 means memory bound.
+// The paper's worked example: Z ≈ 1e6, x ≈ 1e10, y ≈ 1e9 gives ≈ 0.5 — right
+// at the boundary, which is why 256 cores are bound and 128 are not.
+double boundedness_ratio(const NodeThroughput& t);
+
+// Minimum number of cores (each contributing per_core_rate comparisons/s)
+// for sorting to become memory bound on a node with bandwidth y and Z blocks.
+std::uint64_t min_cores_for_memory_bound(double per_core_rate,
+                                         double memory_rate,
+                                         double cache_blocks);
+
+// Expected time (seconds) for the two halves of the §V-A estimate; the larger
+// one is the predicted wall-clock of a sort of n elements.
+struct TimeEstimate {
+  double compute_s = 0;  // N·logN / x
+  double memory_s = 0;   // N·logN / (y·log Z)
+  bool memory_bound = false;
+  double predicted_s = 0;
+};
+TimeEstimate sort_time_estimate(const NodeThroughput& t, double n);
+
+}  // namespace tlm::model

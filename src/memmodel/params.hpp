@@ -1,0 +1,76 @@
+// The algorithmic scratchpad model of §II (Fig. 1).
+//
+// Two memories sit in parallel under one cache: DRAM transfers blocks of B
+// elements, the scratchpad transfers blocks of ρB elements, and both charge
+// unit cost per block. Capacities: cache Z, scratchpad M (with the tall-cache
+// assumption M > B²), DRAM unbounded. The parallel extension (§IV-A) adds p
+// cores with private caches and p′ ≤ p simultaneous block transfers.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace tlm::model {
+
+struct ScratchpadModel {
+  // All capacities/sizes are in *elements* (the paper's records); byte-level
+  // concerns live in the simulator configs, not the algorithmic model.
+  std::uint64_t cache_z = 0;       // Z: cache capacity
+  std::uint64_t scratch_m = 0;     // M: scratchpad capacity, M >> Z
+  std::uint64_t block_b = 0;       // B: DRAM block size
+  double rho = 1.0;                // ρ: scratchpad bandwidth expansion, > 1
+  std::uint64_t cores_p = 1;       // p: cores on the node
+  std::uint64_t parallel_p = 1;    // p′: simultaneous block transfers
+
+  // ρB, the scratchpad block size, rounded to whole elements.
+  std::uint64_t scratch_block() const {
+    return static_cast<std::uint64_t>(rho * static_cast<double>(block_b));
+  }
+
+  bool tall_cache() const { return scratch_m > block_b * block_b; }
+
+  // Throws unless the model satisfies §II's architectural assumptions.
+  void validate() const {
+    TLM_REQUIRE(block_b >= 1, "B must be at least one element");
+    TLM_REQUIRE(rho >= 1.0, "rho models a bandwidth *expansion*");
+    TLM_REQUIRE(cache_z >= block_b, "cache must hold at least one DRAM block");
+    TLM_REQUIRE(scratch_m > cache_z, "scratchpad must exceed the cache (M >> Z)");
+    TLM_REQUIRE(tall_cache(), "tall-cache assumption M > B^2 violated");
+    TLM_REQUIRE(cores_p >= 1 && parallel_p >= 1 && parallel_p <= cores_p,
+                "need 1 <= p' <= p");
+  }
+
+  // The sample-set size m = Θ(M/B) used by the sorting algorithms (§III-A).
+  std::uint64_t sample_m() const { return scratch_m / block_b; }
+};
+
+// A small model suitable for unit tests and fast counting experiments:
+// Z = 4Ki, M = 256Ki elements, B = 8 elements (64-byte lines of u64).
+inline ScratchpadModel test_model(double rho = 4.0) {
+  ScratchpadModel m;
+  m.cache_z = 4 * 1024;
+  m.scratch_m = 256 * 1024;
+  m.block_b = 8;
+  m.rho = rho;
+  m.cores_p = 4;
+  m.parallel_p = 4;
+  return m;
+}
+
+// The paper's simulated node (Fig. 4) expressed in 64-bit elements:
+// 256 cores, 16 KiB L1 + 512 KiB shared L2 per quad-core group (we charge the
+// aggregate on-chip capacity to Z), a multi-GB scratchpad big enough to hold
+// "several copies of an array of 10 million 64-bit integers", 64-byte lines.
+inline ScratchpadModel paper_model(double rho = 8.0) {
+  ScratchpadModel m;
+  m.cache_z = (256 * 16 * 1024ULL + 64 * 512 * 1024ULL) / 8;  // ~4.2M elements
+  m.scratch_m = 64ULL * 1024 * 1024;                          // 512 MB of u64
+  m.block_b = 8;                                              // 64-byte lines
+  m.rho = rho;
+  m.cores_p = 256;
+  m.parallel_p = 256;
+  return m;
+}
+
+}  // namespace tlm::model

@@ -1,0 +1,81 @@
+// Runtime configuration of the two-level memory node used by the Machine
+// (counting backend) and mirrored by the cycle-level simulator configs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+#include "memmodel/params.hpp"
+
+namespace tlm {
+
+struct TwoLevelConfig {
+  std::uint64_t near_capacity = 256 * MiB;  // M, bytes of scratchpad
+  std::uint64_t block_bytes = 64;           // B, DRAM block/line size in bytes
+  std::uint64_t cache_bytes = 512 * KiB;    // Z, on-chip cache per core group
+  double rho = 4.0;                         // scratchpad bandwidth expansion
+
+  double far_bw = 60.0 * GB;      // bytes/s to far memory (STREAM-like)
+  double near_latency = 50e-9;    // s per near burst (Fig. 4: 50 ns constant)
+  double far_latency = 100e-9;    // s per far burst (DDR access + queueing)
+  double core_rate = 1.0e9;       // ops/s each core can retire
+  std::size_t threads = 4;        // p (= p′ in our runs)
+
+  // When true, phase time is max(compute, far traffic, near traffic) —
+  // the DMA-overlap model of §VI-B/§VII; when false the three serialize,
+  // matching the paper's prototype which "simply waits for the transfer".
+  bool overlap_dma = false;
+
+  double near_bw() const { return rho * far_bw; }
+  std::uint64_t near_block_bytes() const {
+    return static_cast<std::uint64_t>(rho * static_cast<double>(block_bytes));
+  }
+
+  void validate() const {
+    TLM_REQUIRE(block_bytes >= 8 && near_capacity >= 4 * block_bytes,
+                "degenerate memory geometry");
+    TLM_REQUIRE(rho >= 1.0, "rho is a bandwidth expansion factor");
+    TLM_REQUIRE(far_bw > 0 && core_rate > 0, "rates must be positive");
+    TLM_REQUIRE(threads >= 1, "need at least one core");
+  }
+
+  // Derives the algorithmic model (§II) for this runtime configuration,
+  // measured in elements of `elem_bytes`.
+  model::ScratchpadModel to_model(std::uint64_t elem_bytes,
+                                  std::uint64_t cache_bytes) const {
+    model::ScratchpadModel m;
+    m.cache_z = cache_bytes / elem_bytes;
+    m.scratch_m = near_capacity / elem_bytes;
+    m.block_b = block_bytes / elem_bytes;
+    m.rho = rho;
+    m.cores_p = threads;
+    m.parallel_p = threads;
+    return m;
+  }
+};
+
+// Scaled-down default used by tests: 16 MiB scratchpad, 4 threads.
+inline TwoLevelConfig test_config(double rho = 4.0) {
+  TwoLevelConfig c;
+  c.near_capacity = 16 * MiB;
+  c.rho = rho;
+  c.threads = 4;
+  return c;
+}
+
+// The Fig. 4 node: 256 cores at 1.7 GHz, ~60 GB/s STREAM to far memory,
+// scratchpad at 2x/4x/8x that bandwidth.
+inline TwoLevelConfig paper_config(double rho = 8.0) {
+  TwoLevelConfig c;
+  c.near_capacity = 512 * MiB;  // several copies of 10M u64
+  c.block_bytes = 64;
+  c.rho = rho;
+  c.far_bw = 60.0 * GB;
+  c.core_rate = 1.7e9;
+  c.threads = 256;
+  return c;
+}
+
+}  // namespace tlm

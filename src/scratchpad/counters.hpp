@@ -1,0 +1,80 @@
+// Traffic and time accounting for the counting backend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tlm {
+
+// One phase of an algorithm (e.g. "phase1.sort_chunks"). Byte counts are
+// aggregated over all threads; `compute_ops_max` is the per-thread maximum
+// (the parallel span), `compute_ops_total` the aggregate work.
+struct PhaseStats {
+  std::string name;
+
+  std::uint64_t far_read_bytes = 0;
+  std::uint64_t far_write_bytes = 0;
+  std::uint64_t near_read_bytes = 0;
+  std::uint64_t near_write_bytes = 0;
+
+  // Block transfers in the §II model: far blocks of B bytes, near blocks of
+  // ρB bytes, each charged per stream/copy call (partial blocks round up).
+  std::uint64_t far_blocks = 0;
+  std::uint64_t near_blocks = 0;
+
+  // Discrete transfer bursts (copy/stream calls). Each burst pays the
+  // memory's access latency once — this is what makes many small transfers
+  // slower than few large ones at equal byte volume (§IV-D's motivation for
+  // the bucket metadata).
+  std::uint64_t far_bursts = 0;
+  std::uint64_t near_bursts = 0;
+
+  double compute_ops_total = 0;
+  double compute_ops_max = 0;
+
+  // Time attributed to this phase by the analytic model.
+  double far_s = 0;
+  double near_s = 0;
+  double compute_s = 0;
+  double seconds = 0;
+
+  std::uint64_t far_bytes() const { return far_read_bytes + far_write_bytes; }
+  std::uint64_t near_bytes() const {
+    return near_read_bytes + near_write_bytes;
+  }
+
+  PhaseStats& operator+=(const PhaseStats& o) {
+    far_read_bytes += o.far_read_bytes;
+    far_write_bytes += o.far_write_bytes;
+    near_read_bytes += o.near_read_bytes;
+    near_write_bytes += o.near_write_bytes;
+    far_blocks += o.far_blocks;
+    near_blocks += o.near_blocks;
+    far_bursts += o.far_bursts;
+    near_bursts += o.near_bursts;
+    compute_ops_total += o.compute_ops_total;
+    compute_ops_max += o.compute_ops_max;
+    far_s += o.far_s;
+    near_s += o.near_s;
+    compute_s += o.compute_s;
+    seconds += o.seconds;
+    return *this;
+  }
+};
+
+struct MachineStats {
+  PhaseStats total;                // sums over all closed phases
+  std::vector<PhaseStats> phases;  // in begin_phase order
+
+  // Line-granularity access counts (64-byte lines unless configured
+  // otherwise) — the unit Table I reports.
+  std::uint64_t far_accesses(std::uint64_t line_bytes) const {
+    return total.far_bytes() / line_bytes;
+  }
+  std::uint64_t near_accesses(std::uint64_t line_bytes) const {
+    return total.near_bytes() / line_bytes;
+  }
+};
+
+}  // namespace tlm

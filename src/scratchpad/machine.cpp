@@ -1,0 +1,249 @@
+#include "scratchpad/machine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+#include "common/math.hpp"
+
+namespace tlm {
+
+namespace {
+constexpr std::uint64_t kFarRegionAlign = 4096;  // trace vaddr granularity
+constexpr std::uint64_t kFarAllocAlign = 64;
+}  // namespace
+
+Machine::Machine(TwoLevelConfig cfg, trace::TraceSink* sink)
+    : cfg_(cfg),
+      pool_(cfg.threads),
+      arena_(cfg.near_capacity),
+      sink_(sink),
+      acc_(cfg.threads),
+      barrier_(static_cast<std::ptrdiff_t>(cfg.threads)) {
+  cfg_.validate();
+  open_phase_ = "(run)";
+}
+
+Machine::~Machine() {
+  // Release any far allocations the machine still owns.
+  for (auto& [base, region] : far_regions_) {
+    if (region.owned)
+      ::operator delete(const_cast<std::byte*>(base),
+                        std::align_val_t{kFarAllocAlign});
+  }
+}
+
+std::byte* Machine::alloc(Space s, std::uint64_t bytes, std::uint64_t align) {
+  TLM_REQUIRE(bytes > 0, "zero-byte allocation");
+  std::lock_guard lock(alloc_mu_);
+  if (s == Space::Near) return arena_.allocate(bytes, align);
+  TLM_REQUIRE(align <= kFarAllocAlign, "far allocations are 64-byte aligned");
+  auto* p = static_cast<std::byte*>(
+      ::operator new(bytes, std::align_val_t{kFarAllocAlign}));
+  FarRegion region{bytes, next_far_vbase_, /*owned=*/true};
+  next_far_vbase_ += round_up(bytes, kFarRegionAlign);
+  // The heap may hand back an address a caller previously adopted and has
+  // since freed; the fresh allocation supersedes any stale registry entry.
+  far_regions_.insert_or_assign(p, region);
+  return p;
+}
+
+void Machine::dealloc(Space s, std::byte* p) {
+  std::lock_guard lock(alloc_mu_);
+  if (s == Space::Near) {
+    arena_.deallocate(p);
+    return;
+  }
+  auto it = far_regions_.find(p);
+  TLM_REQUIRE(it != far_regions_.end() && it->second.owned,
+              "unknown far pointer");
+  ::operator delete(p, std::align_val_t{kFarAllocAlign});
+  far_regions_.erase(it);
+}
+
+void Machine::adopt_far(const void* p, std::uint64_t bytes) {
+  TLM_REQUIRE(p != nullptr && bytes > 0, "cannot adopt an empty region");
+  TLM_REQUIRE(!arena_.contains(p), "near pointers are already registered");
+  std::lock_guard lock(alloc_mu_);
+  const auto* base = static_cast<const std::byte*>(p);
+  auto it = far_regions_.find(base);
+  if (it != far_regions_.end()) {
+    it->second.bytes = std::max(it->second.bytes, bytes);
+    return;
+  }
+  far_regions_.emplace(base,
+                       FarRegion{bytes, next_far_vbase_, /*owned=*/false});
+  next_far_vbase_ += round_up(bytes, kFarRegionAlign);
+}
+
+Space Machine::space_of(const void* p) const {
+  return arena_.contains(p) ? Space::Near : Space::Far;
+}
+
+std::uint64_t Machine::vaddr_of(const void* p) const {
+  if (arena_.contains(p)) return trace::kNearBase + arena_.offset_of(p);
+  std::lock_guard lock(alloc_mu_);
+  const auto* b = static_cast<const std::byte*>(p);
+  auto it = far_regions_.upper_bound(b);
+  TLM_REQUIRE(it != far_regions_.begin(), "far pointer was never registered");
+  --it;
+  TLM_REQUIRE(b < it->first + it->second.bytes,
+              "pointer past the end of its far region");
+  return it->second.vbase + static_cast<std::uint64_t>(b - it->first);
+}
+
+void Machine::charge_read(std::size_t thread, const void* p,
+                          std::uint64_t bytes) {
+  TLM_CHECK(thread < acc_.size(), "thread id out of range");
+  auto& a = acc_[thread];
+  if (space_of(p) == Space::Near) {
+    a.near_read += bytes;
+    a.near_blocks += ceil_div(bytes, cfg_.near_block_bytes());
+    a.near_bursts += 1;
+  } else {
+    a.far_read += bytes;
+    a.far_blocks += ceil_div(bytes, cfg_.block_bytes);
+    a.far_bursts += 1;
+  }
+  if (sink_) sink_->on_read(thread, vaddr_of(p), bytes);
+}
+
+void Machine::charge_write(std::size_t thread, void* p, std::uint64_t bytes) {
+  TLM_CHECK(thread < acc_.size(), "thread id out of range");
+  auto& a = acc_[thread];
+  if (space_of(p) == Space::Near) {
+    a.near_write += bytes;
+    a.near_blocks += ceil_div(bytes, cfg_.near_block_bytes());
+    a.near_bursts += 1;
+  } else {
+    a.far_write += bytes;
+    a.far_blocks += ceil_div(bytes, cfg_.block_bytes);
+    a.far_bursts += 1;
+  }
+  if (sink_) sink_->on_write(thread, vaddr_of(p), bytes);
+}
+
+void Machine::copy(std::size_t thread, void* dst, const void* src,
+                   std::uint64_t bytes) {
+  if (bytes == 0) return;
+  std::memmove(dst, src, bytes);
+  charge_read(thread, src, bytes);
+  charge_write(thread, dst, bytes);
+}
+
+void Machine::stream_read(std::size_t thread, const void* p,
+                          std::uint64_t bytes) {
+  if (bytes) charge_read(thread, p, bytes);
+}
+
+void Machine::stream_write(std::size_t thread, void* p, std::uint64_t bytes) {
+  if (bytes) charge_write(thread, p, bytes);
+}
+
+void Machine::compute(std::size_t thread, double ops) {
+  TLM_CHECK(thread < acc_.size(), "thread id out of range");
+  acc_[thread].ops += ops;
+  if (sink_ && ops > 0) sink_->on_compute(thread, ops);
+}
+
+void Machine::sync(std::size_t thread) {
+  // All participants observe the same epoch: the increment happens only
+  // after every thread has both emitted its marker and arrived.
+  const std::uint64_t id = barrier_id_.load(std::memory_order_acquire);
+  if (sink_) sink_->on_barrier(thread, id);
+  barrier_.arrive_and_wait();
+  // One designated thread advances the epoch; a second barrier keeps the
+  // next sync() from racing with the increment.
+  if (thread == 0) barrier_id_.store(id + 1, std::memory_order_release);
+  barrier_.arrive_and_wait();
+}
+
+void Machine::run_spmd(const std::function<void(std::size_t)>& fn) {
+  pool_.run_spmd(fn);
+  if (sink_) {
+    // The join is a rendezvous of every worker: record it in each stream.
+    // Emitted from the orchestrating thread, after all workers are idle.
+    const std::uint64_t id =
+        barrier_id_.fetch_add(1, std::memory_order_acq_rel);
+    for (std::size_t t = 0; t < cfg_.threads; ++t) sink_->on_barrier(t, id);
+  }
+}
+
+void Machine::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  TLM_REQUIRE(begin <= end, "empty-forward range required");
+  const std::size_t n = end - begin;
+  run_spmd([&](std::size_t w) {
+    auto [lo, hi] = ThreadPool::chunk(n, w, cfg_.threads);
+    if (lo < hi) fn(w, begin + lo, begin + hi);
+  });
+}
+
+void Machine::begin_phase(std::string name) {
+  end_phase();
+  open_phase_ = std::move(name);
+}
+
+void Machine::end_phase() {
+  if (!open_phase_) return;
+  PhaseStats phase;
+  phase.name = *open_phase_;
+  fold_open_phase(phase);
+  // Skip phases in which nothing happened (e.g. the implicit "(run)" phase
+  // of callers who structure everything explicitly).
+  if (phase.far_bytes() || phase.near_bytes() || phase.compute_ops_total > 0) {
+    stats_.total += phase;
+    stats_.phases.push_back(std::move(phase));
+  }
+  reset_accumulators();
+  open_phase_.reset();
+}
+
+void Machine::fold_open_phase(PhaseStats& out) const {
+  for (const auto& a : acc_) {
+    out.far_read_bytes += a.far_read;
+    out.far_write_bytes += a.far_write;
+    out.near_read_bytes += a.near_read;
+    out.near_write_bytes += a.near_write;
+    out.far_blocks += a.far_blocks;
+    out.near_blocks += a.near_blocks;
+    out.far_bursts += a.far_bursts;
+    out.near_bursts += a.near_bursts;
+    out.compute_ops_total += a.ops;
+    out.compute_ops_max = std::max(out.compute_ops_max, a.ops);
+  }
+  // Per-burst access latencies amortize across the p cores issuing them.
+  const double p = static_cast<double>(cfg_.threads);
+  out.far_s = static_cast<double>(out.far_bytes()) / cfg_.far_bw +
+              static_cast<double>(out.far_bursts) * cfg_.far_latency / p;
+  out.near_s = static_cast<double>(out.near_bytes()) / cfg_.near_bw() +
+               static_cast<double>(out.near_bursts) * cfg_.near_latency / p;
+  out.compute_s = out.compute_ops_max / cfg_.core_rate;
+  out.seconds = cfg_.overlap_dma
+                    ? std::max({out.far_s, out.near_s, out.compute_s})
+                    : out.far_s + out.near_s + out.compute_s;
+}
+
+void Machine::reset_accumulators() {
+  std::fill(acc_.begin(), acc_.end(), ThreadAcc{});
+}
+
+MachineStats Machine::stats() const {
+  MachineStats out = stats_;
+  if (open_phase_) {
+    PhaseStats phase;
+    phase.name = *open_phase_ + " (open)";
+    fold_open_phase(phase);
+    if (phase.far_bytes() || phase.near_bytes() ||
+        phase.compute_ops_total > 0) {
+      out.total += phase;
+      out.phases.push_back(std::move(phase));
+    }
+  }
+  return out;
+}
+
+double Machine::elapsed_seconds() const { return stats().total.seconds; }
+
+}  // namespace tlm

@@ -1,0 +1,152 @@
+// The user-controlled two-level memory machine — the substrate every
+// algorithm in this repository runs on.
+//
+// A Machine owns:
+//   * far memory (the regular heap, registered so traces get stable virtual
+//     addresses),
+//   * a NearArena of M bytes (the scratchpad, §VI-B),
+//   * a thread pool of p workers (the cores of §IV-A),
+//   * traffic counters and an analytic time model (the counting backend),
+//   * an optional TraceSink — when attached, every operation is also
+//     recorded for replay on the cycle-level simulator (the Ariel role).
+//
+// Algorithms express their memory behaviour explicitly: copy() stages data
+// between spaces, stream_read()/stream_write() account for in-place passes,
+// compute() charges work, sync() is a full thread barrier. Because the data
+// movement is explicit, one implementation of each algorithm serves
+// correctness testing, analytic counting, and trace-driven simulation.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "scratchpad/arena.hpp"
+#include "scratchpad/config.hpp"
+#include "scratchpad/counters.hpp"
+#include "scratchpad/space.hpp"
+#include "trace/sink.hpp"
+
+namespace tlm {
+
+class Machine {
+ public:
+  explicit Machine(TwoLevelConfig cfg, trace::TraceSink* sink = nullptr);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const TwoLevelConfig& config() const { return cfg_; }
+  ThreadPool& pool() { return pool_; }
+  std::size_t threads() const { return cfg_.threads; }
+
+  // ---- memory management -------------------------------------------------
+  std::byte* alloc(Space s, std::uint64_t bytes, std::uint64_t align = 64);
+  void dealloc(Space s, std::byte* p);
+
+  template <typename T>
+  std::span<T> alloc_array(Space s, std::size_t n) {
+    auto* p = alloc(s, n * sizeof(T), alignof(T) < 64 ? 64 : alignof(T));
+    return {reinterpret_cast<T*>(p), n};
+  }
+  template <typename T>
+  void free_array(Space s, std::span<T> a) {
+    dealloc(s, reinterpret_cast<std::byte*>(a.data()));
+  }
+
+  // Registers an externally-owned far buffer (e.g. the caller's input array)
+  // so traces can address it. Idempotent per base pointer.
+  void adopt_far(const void* p, std::uint64_t bytes);
+
+  Space space_of(const void* p) const;
+  const NearArena& near_arena() const { return arena_; }
+
+  // ---- instrumented operations (callable from any worker thread) ---------
+  // Moves bytes between spaces (memmove semantics) and charges both sides.
+  void copy(std::size_t thread, void* dst, const void* src,
+            std::uint64_t bytes);
+  // Accounts for a streaming pass that reads/writes in place (no movement).
+  void stream_read(std::size_t thread, const void* p, std::uint64_t bytes);
+  void stream_write(std::size_t thread, void* p, std::uint64_t bytes);
+  // Charges `ops` units of computation to `thread`.
+  void compute(std::size_t thread, double ops);
+  // Full barrier across all p workers; also recorded in the trace.
+  void sync(std::size_t thread);
+
+  // SPMD section with an implicit join barrier: runs fn(worker) on every
+  // worker, waits, and records one barrier marker per thread so the trace
+  // replay preserves the fork/join dependency structure. All parallel
+  // algorithm code should use these instead of pool() directly.
+  void run_spmd(const std::function<void(std::size_t)>& fn);
+  // Same, over static contiguous chunks of [begin, end).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t,
+                                             std::size_t)>& fn);
+
+  // ---- phase structure (call from the orchestrating thread) --------------
+  void begin_phase(std::string name);
+  void end_phase();
+
+  // Aggregated statistics; finalizes an open phase view without closing it.
+  MachineStats stats() const;
+  // Per-thread compute accumulated in the currently open phase — for load
+  // balance diagnostics.
+  std::vector<double> thread_ops() const {
+    std::vector<double> out(acc_.size());
+    for (std::size_t i = 0; i < acc_.size(); ++i) out[i] = acc_[i].ops;
+    return out;
+  }
+  // Total modeled seconds across closed phases.
+  double elapsed_seconds() const;
+
+  // Virtual address of a host pointer under the trace layout. Exposed for
+  // tests and the capture layer.
+  std::uint64_t vaddr_of(const void* p) const;
+
+ private:
+  struct alignas(64) ThreadAcc {
+    std::uint64_t far_read = 0, far_write = 0;
+    std::uint64_t near_read = 0, near_write = 0;
+    std::uint64_t far_blocks = 0, near_blocks = 0;
+    std::uint64_t far_bursts = 0, near_bursts = 0;
+    double ops = 0;
+  };
+
+  void charge_read(std::size_t thread, const void* p, std::uint64_t bytes);
+  void charge_write(std::size_t thread, void* p, std::uint64_t bytes);
+  void fold_open_phase(PhaseStats& out) const;
+  void reset_accumulators();
+
+  TwoLevelConfig cfg_;
+  ThreadPool pool_;
+  NearArena arena_;
+  trace::TraceSink* sink_;
+
+  mutable std::mutex alloc_mu_;
+  // Far registry: host base -> (length, trace virtual base).
+  struct FarRegion {
+    std::uint64_t bytes;
+    std::uint64_t vbase;
+    bool owned;
+  };
+  std::map<const std::byte*, FarRegion> far_regions_;
+  std::uint64_t next_far_vbase_ = trace::kFarBase;
+
+  std::vector<ThreadAcc> acc_;
+  std::barrier<> barrier_;
+  std::atomic<std::uint64_t> barrier_id_{0};
+
+  std::optional<std::string> open_phase_;
+  MachineStats stats_;
+};
+
+}  // namespace tlm

@@ -1,0 +1,17 @@
+// The two main-memory spaces of the co-design (§II, Fig. 6): far (capacity)
+// DRAM and near (scratchpad) memory. Both sit at the same level of the
+// hierarchy; only bandwidth and capacity differ.
+#pragma once
+
+namespace tlm {
+
+enum class Space : unsigned char {
+  Far = 0,   // conventional DRAM: unbounded capacity, block size B
+  Near = 1,  // scratchpad: capacity M, block size ρB
+};
+
+constexpr const char* to_string(Space s) {
+  return s == Space::Far ? "far" : "near";
+}
+
+}  // namespace tlm

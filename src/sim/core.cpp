@@ -1,0 +1,128 @@
+#include "sim/core.hpp"
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+
+namespace tlm::sim {
+
+void BarrierController::arrive(Simulator& sim, std::uint64_t id,
+                               std::function<void()> resume) {
+  TLM_REQUIRE(id == epoch_, "core arrived at a stale barrier epoch");
+  waiting_.push_back(std::move(resume));
+  if (waiting_.size() == parties_) {
+    ++epoch_;
+    std::vector<std::function<void()>> release = std::move(waiting_);
+    waiting_.clear();
+    for (auto& fn : release) sim.schedule(0, std::move(fn));
+  }
+}
+
+TraceCore::TraceCore(Simulator& sim, CoreConfig cfg, std::size_t id,
+                     const std::vector<trace::TraceOp>* stream, MemPort* l1,
+                     BarrierController* barrier)
+    : sim_(sim),
+      cfg_(cfg),
+      id_(id),
+      stream_(stream),
+      l1_(l1),
+      barrier_(barrier) {
+  TLM_REQUIRE(stream_ != nullptr && l1_ != nullptr && barrier_ != nullptr,
+              "core is missing a connection");
+  TLM_REQUIRE(cfg_.max_outstanding >= 1, "need at least one outstanding slot");
+}
+
+void TraceCore::start() {
+  sim_.schedule(0, [this] { step(); });
+}
+
+void TraceCore::advance() {
+  ++op_;
+  step();
+}
+
+void TraceCore::step() {
+  if (op_ >= stream_->size()) {
+    if (!stats_.finished) {
+      stats_.finished = true;
+      stats_.finish_time = sim_.now();
+    }
+    return;
+  }
+  const trace::TraceOp& op = (*stream_)[op_];
+  switch (op.kind) {
+    case trace::OpKind::Compute: {
+      stats_.compute_ops += op.ops;
+      const double cycles = op.ops * cfg_.cycles_per_op;
+      const auto delay =
+          static_cast<SimTime>(cycles / cfg_.freq_hz * 1e12 + 0.5);
+      sim_.schedule(delay, [this] { advance(); });
+      return;
+    }
+    case trace::OpKind::Read:
+    case trace::OpKind::Write: {
+      burst_active_ = true;
+      cursor_ = round_down(op.addr, cfg_.line_bytes);
+      burst_end_ = op.addr + op.bytes;
+      issue_lines();
+      return;
+    }
+    case trace::OpKind::Barrier: {
+      if (outstanding_ > 0) {
+        // Drain in-flight accesses before the rendezvous.
+        waiting_barrier_ = true;
+        return;
+      }
+      ++stats_.barriers;
+      barrier_->arrive(sim_, op.addr, [this] { advance(); });
+      return;
+    }
+  }
+  TLM_CHECK(false, "unreachable trace op kind");
+}
+
+void TraceCore::issue_lines() {
+  const trace::TraceOp& op = (*stream_)[op_];
+  const bool is_write = op.kind == trace::OpKind::Write;
+  while (cursor_ < burst_end_ && outstanding_ < cfg_.max_outstanding) {
+    MemReq req;
+    req.addr = cursor_;
+    req.bytes = cfg_.line_bytes;
+    req.is_write = is_write;
+    req.tag = (static_cast<std::uint64_t>(id_) << 48) ^ cursor_;
+    req.origin = this;
+    (is_write ? stats_.stores : stats_.loads) += 1;
+    ++outstanding_;
+    issue_time_[req.tag] = sim_.now();
+    l1_->request(req);
+    cursor_ += cfg_.line_bytes;
+  }
+  if (cursor_ >= burst_end_ && burst_active_) {
+    // Burst fully issued: move on (non-blocking accesses may still be in
+    // flight; barriers are the ordering points).
+    burst_active_ = false;
+    advance();
+  }
+}
+
+void TraceCore::on_response(const MemReq& req) {
+  TLM_CHECK(outstanding_ > 0, "response with nothing outstanding");
+  --outstanding_;
+  if (auto it = issue_time_.find(req.tag); it != issue_time_.end()) {
+    const double lat = to_seconds(sim_.now() - it->second);
+    stats_.access_latency.add(lat);
+    stats_.latency_hist.add(lat);
+    issue_time_.erase(it);
+  }
+  if (burst_active_) {
+    issue_lines();
+    return;
+  }
+  if (waiting_barrier_ && outstanding_ == 0) {
+    waiting_barrier_ = false;
+    const trace::TraceOp& op = (*stream_)[op_];
+    ++stats_.barriers;
+    barrier_->arrive(sim_, op.addr, [this] { advance(); });
+  }
+}
+
+}  // namespace tlm::sim

@@ -1,0 +1,87 @@
+// TraceCore — the Ariel virtual core: replays one thread's recorded op
+// stream, issuing line-granular memory requests into its private L1 with a
+// bounded number outstanding, charging compute segments in core cycles, and
+// rendezvousing with its siblings at barrier markers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/stats.hpp"
+#include "sim/simulator.hpp"
+#include "trace/sink.hpp"
+
+namespace tlm::sim {
+
+struct CoreConfig {
+  double freq_hz = 1.7e9;          // Fig. 4: cores run at 1.7 GHz
+  double cycles_per_op = 1.0;      // modeled CPI on compute segments
+  std::uint32_t max_outstanding = 16;
+  std::uint32_t line_bytes = 64;
+};
+
+class BarrierController {
+ public:
+  explicit BarrierController(std::size_t parties) : parties_(parties) {}
+
+  // Core `arrive`s at barrier `id`; `resume` fires when everyone is here.
+  void arrive(Simulator& sim, std::uint64_t id, std::function<void()> resume);
+
+  std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  std::size_t parties_;
+  std::uint64_t epoch_ = 0;
+  std::vector<std::function<void()>> waiting_;
+};
+
+struct CoreStats {
+  std::uint64_t loads = 0, stores = 0;
+  double compute_ops = 0;
+  std::uint64_t barriers = 0;
+  SimTime finish_time = 0;
+  bool finished = false;
+  RunningStats access_latency;   // per-request round trip, in seconds
+  LogHistogram latency_hist;     // the distribution behind the mean
+};
+
+class TraceCore final : public Requester {
+ public:
+  TraceCore(Simulator& sim, CoreConfig cfg, std::size_t id,
+            const std::vector<trace::TraceOp>* stream, MemPort* l1,
+            BarrierController* barrier);
+
+  // Schedules the first step; call once before Simulator::run().
+  void start();
+
+  void on_response(const MemReq& req) override;
+
+  const CoreStats& stats() const { return stats_; }
+  bool finished() const { return stats_.finished; }
+
+ private:
+  void step();         // process the current op
+  void issue_lines();  // drive the current read/write burst
+  void advance();      // move to the next op and step again
+
+  Simulator& sim_;
+  CoreConfig cfg_;
+  std::size_t id_;
+  const std::vector<trace::TraceOp>* stream_;
+  MemPort* l1_;
+  BarrierController* barrier_;
+
+  std::size_t op_ = 0;           // index into the stream
+  std::uint64_t cursor_ = 0;     // next line address within the current burst
+  std::uint64_t burst_end_ = 0;  // one past the last byte of the burst
+  std::uint32_t outstanding_ = 0;
+  bool burst_active_ = false;
+  bool waiting_barrier_ = false;
+  std::unordered_map<std::uint64_t, SimTime> issue_time_;  // tag -> time
+  CoreStats stats_;
+};
+
+}  // namespace tlm::sim

@@ -1,0 +1,95 @@
+// Discrete-event simulation core — the role SST's kernel plays in the paper.
+//
+// Components schedule closures at absolute simulated times (picosecond
+// ticks); the simulator executes them in (time, insertion) order. SST's
+// component/link architecture is mirrored one level up: components hold
+// typed pointers to their neighbours and use `schedule` to model link and
+// service latencies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+
+namespace tlm::sim {
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run at now() + delay.
+  void schedule(SimTime delay, Handler fn) {
+    queue_.push(Event{now_ + delay, seq_++, std::move(fn)});
+  }
+  void schedule_at(SimTime when, Handler fn) {
+    TLM_REQUIRE(when >= now_, "cannot schedule into the past");
+    queue_.push(Event{when, seq_++, std::move(fn)});
+  }
+
+  // Runs until the event queue drains (or `max_events` fire — a runaway
+  // guard for tests). Returns the number of events executed.
+  std::uint64_t run(std::uint64_t max_events = ~0ULL) {
+    std::uint64_t executed = 0;
+    while (!queue_.empty() && executed < max_events) {
+      // Moving out of a priority_queue requires const_cast; the element is
+      // popped immediately after, so this is safe.
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      TLM_CHECK(ev.when >= now_, "event queue went backwards");
+      now_ = ev.when;
+      ev.fn();
+      ++executed;
+    }
+    return executed;
+  }
+
+  bool idle() const { return queue_.empty(); }
+  std::uint64_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Handler fn;
+    bool operator>(const Event& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+// Memory transaction. Addresses are line-aligned by the issuing core; only
+// reads (and demand stores) receive responses, writebacks are posted.
+struct MemReq {
+  std::uint64_t addr = 0;
+  std::uint32_t bytes = 64;
+  bool is_write = false;
+  bool posted = false;  // fire-and-forget (cache writebacks)
+  std::uint64_t tag = 0;       // requester-local id
+  class Requester* origin = nullptr;
+};
+
+class Requester {
+ public:
+  virtual ~Requester() = default;
+  virtual void on_response(const MemReq& req) = 0;
+};
+
+// Anything that accepts requests flowing away from the cores.
+class MemPort {
+ public:
+  virtual ~MemPort() = default;
+  virtual void request(const MemReq& req) = 0;
+};
+
+}  // namespace tlm::sim

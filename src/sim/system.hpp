@@ -1,0 +1,96 @@
+// SystemBuilder: assembles the Fig. 5/7 node — trace cores with private L1s,
+// a shared L2 per quad-core group, the crossbar NoC, and the two directory-
+// fronted memories (DDR-timed far, constant-latency multi-channel near) —
+// runs a captured trace on it, and reports the Table I metrics.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/core.hpp"
+#include "sim/memory.hpp"
+#include "sim/noc.hpp"
+#include "sim/simulator.hpp"
+#include "trace/capture.hpp"
+
+namespace tlm::sim {
+
+struct SystemConfig {
+  std::size_t cores = 8;
+  std::size_t cores_per_group = 4;  // Fig. 4: quad-core groups
+  CoreConfig core;
+  CacheConfig l1;               // per-core private data cache
+  CacheConfig l2;               // shared per group
+  NocConfig noc;
+  double group_port_bw = 72e9;  // Fig. 4: 72 GB/s per group to the NoC
+  FarMemConfig far;
+  NearMemConfig near;
+
+  void validate() const;
+
+  // The Fig. 4 node verbatim: 256 cores at 1.7 GHz, 16 KiB L1, 512 KiB L2
+  // per quad-core group, 4-channel DDR-1066 (~60 GB/s STREAM), scratchpad at
+  // ρ× that bandwidth with 50 ns constant latency.
+  static SystemConfig paper(double rho, std::size_t cores = 256);
+
+  // Same node shrunk to `cores`, preserving the compute-to-bandwidth ratio
+  // x : y (the §V-A boundedness predicate is scale-free), so who wins and by
+  // what factor is preserved at laptop-simulable sizes.
+  static SystemConfig scaled(double rho, std::size_t cores = 8);
+};
+
+struct SimReport {
+  double seconds = 0;        // simulated wall-clock (Table I "Sim Time")
+  std::uint64_t events = 0;  // DES events executed
+  MemStats far;              // Table I "DRAM Accesses" = far.accesses()
+  MemStats near;             // Table I "Scratchpad Accesses"
+  CacheStats l1, l2;         // aggregated over all instances
+  NocStats noc;
+  std::uint64_t core_loads = 0, core_stores = 0;
+  double compute_ops = 0;
+  std::uint64_t barrier_epochs = 0;
+  RunningStats access_latency;  // per-request round trip across all cores
+  LogHistogram latency_hist;    // pooled distribution (p50/p95/p99)
+};
+
+class System {
+ public:
+  // `trace` must carry exactly cfg.cores thread streams.
+  System(SystemConfig cfg, const trace::TraceBuffer& trace);
+
+  // Runs the whole trace to completion and reports. `max_events` guards
+  // against runaway simulations in tests.
+  SimReport run(std::uint64_t max_events = ~0ULL);
+
+  const SystemConfig& config() const { return cfg_; }
+
+  // SST-style per-component statistics dump: one line per component with
+  // its counters (call after run()).
+  void print_stats(std::ostream& os) const;
+
+  // Component inventory for the Fig. 5 topology audit bench.
+  struct Inventory {
+    std::size_t cores = 0, l1s = 0, l2s = 0, noc_endpoints = 0;
+    std::size_t far_channels = 0, near_channels = 0;
+  };
+  Inventory inventory() const;
+
+ private:
+  SystemConfig cfg_;
+  const trace::TraceBuffer& trace_;
+
+  Simulator sim_;
+  std::unique_ptr<Crossbar> noc_;
+  std::unique_ptr<FarMemory> far_;
+  std::unique_ptr<NearMemory> near_;
+  std::vector<std::unique_ptr<Cache>> l2s_;
+  std::vector<std::unique_ptr<Cache>> l1s_;
+  std::unique_ptr<BarrierController> barrier_;
+  std::vector<std::unique_ptr<TraceCore>> cores_;
+};
+
+}  // namespace tlm::sim

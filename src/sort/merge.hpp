@@ -1,0 +1,185 @@
+// Charged k-way merging: the memory behaviour of every merge in this
+// repository flows through these two functions.
+//
+// merge_runs_charged consumes runs through block-granular refills (charging
+// stream reads in actual consumption order) and flushes output in blocks, so
+// a trace replayed on the simulator interleaves reads, compute, and writes
+// the way a real buffered external merge would.
+//
+// parallel_multiway_merge splits one big merge across all machine threads by
+// value-based splitters (the MCSTL strategy), giving each thread an
+// independent contiguous slice of the output.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/loser_tree.hpp"
+#include "common/units.hpp"
+#include "scratchpad/machine.hpp"
+#include "sort/runs.hpp"
+
+namespace tlm::sort {
+
+struct MergeOptions {
+  // Refill/flush granularity of the buffered cursors. 4 KiB amortizes the
+  // per-burst access latency while letting 2·fan buffers fit in the cache
+  // (fan-in derives from cache_bytes / (2·refill_bytes)).
+  std::uint64_t refill_bytes = 4 * KiB;
+  // Modeled comparisons per emitted element on top of log2(k).
+  double cost_per_element = 1.0;
+  // Minimum elements per parallel merge slice: splitting a merge across
+  // more threads than total/min_part_elems just burns splitter probes and
+  // produces sub-refill slices.
+  std::uint64_t min_part_elems = 1024;
+};
+
+// Sequential k-way merge of `runs` into `out` (which must have room for the
+// total size), charging `thread` for all traffic and compute.
+template <typename T, typename Cmp = std::less<T>>
+void merge_runs_charged(Machine& m, std::size_t thread,
+                        const std::vector<Run<T>>& runs, T* out, Cmp cmp = {},
+                        const MergeOptions& opt = {}) {
+  const std::uint64_t total = total_size(runs);
+  if (total == 0) return;
+
+  using LT = LoserTree<T, Cmp>;
+  std::vector<typename LT::Run> lt_runs;
+  lt_runs.reserve(runs.size());
+  for (const auto& r : runs) lt_runs.push_back({r.begin, r.end});
+
+  const std::uint64_t refill_elems =
+      std::max<std::uint64_t>(1, opt.refill_bytes / sizeof(T));
+  std::vector<const T*> watermark(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) watermark[i] = runs[i].begin;
+
+  LT tree(std::move(lt_runs), cmp);
+  const double per_elem =
+      std::log2(static_cast<double>(std::max<std::size_t>(2, runs.size()))) +
+      opt.cost_per_element;
+
+  T* o = out;
+  T* flush_from = out;
+  while (!tree.done()) {
+    const std::size_t r = tree.top_run();
+    // Charge the refill covering the element we are about to consume.
+    if (tree.cursor(r) >= watermark[r]) {
+      const std::uint64_t left =
+          static_cast<std::uint64_t>(runs[r].end - watermark[r]);
+      const std::uint64_t take = std::min(refill_elems, left);
+      m.stream_read(thread, watermark[r], take * sizeof(T));
+      watermark[r] += take;
+    }
+    *o++ = tree.pop();
+    if (static_cast<std::uint64_t>(o - flush_from) >= refill_elems) {
+      m.stream_write(thread, flush_from,
+                     static_cast<std::uint64_t>(o - flush_from) * sizeof(T));
+      m.compute(thread, static_cast<double>(o - flush_from) * per_elem);
+      flush_from = o;
+    }
+  }
+  if (o != flush_from) {
+    m.stream_write(thread, flush_from,
+                   static_cast<std::uint64_t>(o - flush_from) * sizeof(T));
+    m.compute(thread, static_cast<double>(o - flush_from) * per_elem);
+  }
+}
+
+// A value-split decomposition of one k-way merge into `parts` independent
+// slice merges with known output offsets (the MCSTL strategy).
+template <typename T>
+struct MergePartition {
+  std::vector<std::vector<Run<T>>> slice;  // per part, the non-empty slices
+  std::vector<std::uint64_t> offset;       // per part, output offset
+};
+
+// Computes the partition on the calling thread (splitter probes charged to
+// `thread`). `parts` must be >= 1.
+template <typename T, typename Cmp = std::less<T>>
+MergePartition<T> partition_merge(Machine& m, std::size_t thread,
+                                  const std::vector<Run<T>>& runs,
+                                  std::size_t parts, Cmp cmp = {},
+                                  [[maybe_unused]] const MergeOptions& opt = {},
+                                  double sort_span_div = 1.0) {
+  const std::uint64_t total = total_size(runs);
+  MergePartition<T> out;
+  out.slice.resize(parts);
+  out.offset.assign(parts, 0);
+  if (parts == 1) {
+    for (const auto& r : runs)
+      if (!r.empty()) out.slice[0].push_back(r);
+    return out;
+  }
+
+  // Per-part cut points: cuts[j][i] is where part j begins inside run i.
+  std::vector<std::vector<const T*>> cuts(parts + 1);
+  cuts[0].reserve(runs.size());
+  for (const auto& r : runs) cuts[0].push_back(r.begin);
+  cuts[parts].reserve(runs.size());
+  for (const auto& r : runs) cuts[parts].push_back(r.end);
+
+  // Sample depth must scale with the number of parts: quantiles of an
+  // undersampled set collapse onto few distinct values and produce slices
+  // an order of magnitude off the mean.
+  const std::size_t oversample = std::max<std::size_t>(
+      16, 8 * parts / std::max<std::size_t>(1, runs.size()) + 1);
+  const std::vector<T> splitters = sample_splitters(
+      m, thread, runs, parts, cmp, oversample, sort_span_div);
+  for (std::size_t j = 1; j < parts; ++j) {
+    if (j - 1 < splitters.size()) {
+      cuts[j] = split_runs_by_value(m, thread, runs, splitters[j - 1], cmp);
+    } else {
+      cuts[j] = cuts[parts];  // degenerate sample: empty trailing parts
+    }
+  }
+  // Splitter values are quantiles of a sorted sample, so cut points are
+  // monotone by construction; enforce anyway for safety under pathological
+  // comparators.
+  for (std::size_t j = 1; j <= parts; ++j)
+    for (std::size_t i = 0; i < runs.size(); ++i)
+      if (cuts[j][i] < cuts[j - 1][i]) cuts[j][i] = cuts[j - 1][i];
+
+  std::uint64_t acc = 0;
+  for (std::size_t j = 0; j < parts; ++j) {
+    out.offset[j] = acc;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      if (cuts[j + 1][i] > cuts[j][i])
+        out.slice[j].push_back(Run<T>{cuts[j][i], cuts[j + 1][i]});
+      acc += static_cast<std::uint64_t>(cuts[j + 1][i] - cuts[j][i]);
+    }
+  }
+  TLM_CHECK(acc == total, "split lost elements");
+  return out;
+}
+
+// Merges `runs` into `out` using every thread of the machine. Must be called
+// from the orchestrating thread (it runs an SPMD section internally).
+template <typename T, typename Cmp = std::less<T>>
+void parallel_multiway_merge(Machine& m, const std::vector<Run<T>>& runs,
+                             std::span<T> out, Cmp cmp = {},
+                             const MergeOptions& opt = {}) {
+  const std::uint64_t total = total_size(runs);
+  TLM_REQUIRE(out.size() == total, "output size must equal total run size");
+  if (total == 0) return;
+
+  const std::size_t parts = static_cast<std::size_t>(std::clamp<std::uint64_t>(
+      total / std::max<std::uint64_t>(1, opt.min_part_elems), 1,
+      m.threads()));
+  if (parts == 1) {
+    merge_runs_charged(m, 0, runs, out.data(), cmp, opt);
+    return;
+  }
+  // The orchestrator computes the partition; its sample sort parallelizes
+  // across the node (MCSTL's parallel sample sort), hence the span divisor.
+  const MergePartition<T> part = partition_merge(
+      m, 0, runs, parts, cmp, opt, static_cast<double>(m.threads()));
+  m.run_spmd([&](std::size_t w) {
+    if (w >= parts || part.slice[w].empty()) return;
+    merge_runs_charged(m, w, part.slice[w], out.data() + part.offset[w], cmp,
+                       opt);
+  });
+}
+
+}  // namespace tlm::sort

@@ -1,0 +1,222 @@
+// Parallel multiway mergesort — the from-scratch equivalent of the GNU
+// parallel sort (MCSTL [27]) the paper benchmarks against and also calls as
+// its in-scratchpad subroutine.
+//
+// Structure: parallel formation of sorted runs (sized to the per-core cache
+// share, and never fewer runs than threads), then repeated k-way merge
+// passes until one run remains. The building blocks (plan / form_runs /
+// merge_pass) are exposed in detail:: so NMsort's Phase 1 can fuse its
+// far->near->far chunk pipeline out of the same pieces without redundant
+// staging copies.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/units.hpp"
+#include "scratchpad/machine.hpp"
+#include "sort/merge.hpp"
+#include "sort/runs.hpp"
+
+namespace tlm::sort {
+
+struct MultiwaySortOptions {
+  // Initial sorted-run size; 0 derives an eighth of the configured cache —
+  // the per-core share of a quad-core group's L2 leaves room for the output.
+  std::uint64_t run_bytes = 0;
+  // Merge fan-in k; 0 derives the number of refill buffers that fit in half
+  // the cache — the practical form of the model's Θ(Z/L) branching factor.
+  // This is what makes the single-level baseline pay multiple merge passes
+  // once N/Z outgrows the fan-in, exactly as the paper's GNU sort does.
+  std::size_t fan_in = 0;
+  MergeOptions merge;
+  // Modeled comparisons per element per lg(n) of local sorting.
+  double sort_cost_factor = 1.0;
+};
+
+namespace detail {
+
+struct RunLayout {
+  std::uint64_t run_elems = 0;
+  std::uint64_t nruns = 0;
+  std::size_t fan = 0;
+  std::size_t passes = 0;  // merge passes until a single run remains
+};
+
+template <typename T>
+RunLayout plan_runs(const Machine& m, std::uint64_t n,
+                    const MultiwaySortOptions& opt) {
+  RunLayout L;
+  const std::uint64_t run_bytes =
+      opt.run_bytes ? opt.run_bytes
+                    : std::max<std::uint64_t>(m.config().cache_bytes / 8,
+                                              4 * KiB);
+  // Never fewer runs than threads: formation must parallelize even when the
+  // operand is small (NMsort chunks on many-core nodes) — but runs below a
+  // few hundred elements are pure overhead.
+  const std::uint64_t balanced =
+      std::max<std::uint64_t>(256, ceil_div(n, m.threads()));
+  L.run_elems = std::max<std::uint64_t>(
+      16, std::min(run_bytes / sizeof(T), balanced));
+  L.nruns = std::max<std::uint64_t>(1, ceil_div(n, L.run_elems));
+
+  L.fan = opt.fan_in
+              ? opt.fan_in
+              : static_cast<std::size_t>(std::clamp<std::uint64_t>(
+                    m.config().cache_bytes /
+                        (2 * std::max<std::uint64_t>(opt.merge.refill_bytes,
+                                                     1)),
+                    4, 64));
+  for (std::uint64_t r = L.nruns; r > 1; r = ceil_div(r, L.fan)) ++L.passes;
+  return L;
+}
+
+// Sorts `n` elements located at `dst` (optionally moving them from `src`
+// first) and charges one read plus one write pass and n·lg(n) compute.
+template <typename T, typename Cmp>
+void form_run(Machine& m, std::size_t thread, const T* src, T* dst,
+              std::uint64_t n, double cost_factor, Cmp cmp) {
+  if (n == 0) return;
+  m.stream_read(thread, src, n * sizeof(T));
+  if (dst != src) std::memcpy(dst, src, n * sizeof(T));
+  std::sort(dst, dst + n, cmp);
+  m.stream_write(thread, dst, n * sizeof(T));
+  m.compute(thread, cost_factor * static_cast<double>(n) *
+                        std::log2(static_cast<double>(n) + 2));
+}
+
+// Forms all runs of `L` in parallel, reading from `src` and writing to
+// `dst` (which may alias `src` for in-place formation).
+template <typename T, typename Cmp>
+void form_runs(Machine& m, const T* src, T* dst, std::uint64_t n,
+               const RunLayout& L, const MultiwaySortOptions& opt, Cmp cmp) {
+  m.parallel_for(0, static_cast<std::size_t>(L.nruns),
+                 [&](std::size_t w, std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i) {
+                     const std::uint64_t b =
+                         static_cast<std::uint64_t>(i) * L.run_elems;
+                     const std::uint64_t len = std::min(L.run_elems, n - b);
+                     form_run(m, w, src + b, dst + b, len,
+                              opt.sort_cost_factor, cmp);
+                   }
+                 });
+}
+
+// The runs of group `g` in a buffer holding `cur_runs` runs of `run_len`.
+template <typename T>
+std::vector<Run<T>> group_runs(const T* src, std::uint64_t n,
+                               std::uint64_t run_len, std::uint64_t cur_runs,
+                               std::size_t fan, std::uint64_t g) {
+  std::vector<Run<T>> rs;
+  const std::uint64_t first = g * fan;
+  const std::uint64_t last = std::min<std::uint64_t>(first + fan, cur_runs);
+  rs.reserve(static_cast<std::size_t>(last - first));
+  for (std::uint64_t r = first; r < last; ++r) {
+    const std::uint64_t b = r * run_len;
+    const std::uint64_t e = std::min(b + run_len, n);
+    if (b < e) rs.push_back(Run<T>{src + b, src + e});
+  }
+  return rs;
+}
+
+// One k-way merge pass over all `cur_runs` runs: src -> dst. Builds a flat
+// task list — one task per (group, value-split part) — and executes it in a
+// single SPMD section, so the pass parallelizes whether there are many
+// small groups, few large ones, or anything between. Returns the number of
+// runs remaining.
+template <typename T, typename Cmp>
+std::uint64_t merge_pass(Machine& m, const T* src, T* dst, std::uint64_t n,
+                         std::uint64_t run_len, std::uint64_t cur_runs,
+                         std::size_t fan, const MergeOptions& opt, Cmp cmp) {
+  const std::uint64_t groups = ceil_div(cur_runs, fan);
+  struct Task {
+    std::vector<Run<T>> runs;
+    T* out;
+  };
+  // Split large groups so every core has work even on the last passes; cap
+  // the split so small groups stay whole.
+  const std::size_t per_group_cap = static_cast<std::size_t>(
+      std::max<std::uint64_t>(1, 2 * m.threads() / groups));
+  // Partition every group in parallel (splitter probing is itself work that
+  // must not serialize on the orchestrator), then execute the flat task
+  // list in one SPMD section.
+  std::vector<std::vector<Task>> per_group(
+      static_cast<std::size_t>(groups));
+  m.parallel_for(
+      0, static_cast<std::size_t>(groups),
+      [&](std::size_t w, std::size_t lo, std::size_t hi) {
+        for (std::size_t g = lo; g < hi; ++g) {
+          auto rs = group_runs(src, n, run_len, cur_runs, fan, g);
+          T* out = dst + static_cast<std::uint64_t>(g) * run_len * fan;
+          const std::uint64_t total = total_size(rs);
+          const std::size_t parts = static_cast<std::size_t>(
+              std::clamp<std::uint64_t>(
+                  total / std::max<std::uint64_t>(1, opt.min_part_elems), 1,
+                  per_group_cap));
+          if (parts == 1) {
+            per_group[g].push_back(Task{std::move(rs), out});
+            continue;
+          }
+          MergePartition<T> part =
+              partition_merge(m, w, rs, parts, cmp, opt);
+          for (std::size_t p = 0; p < parts; ++p)
+            if (!part.slice[p].empty())
+              per_group[g].push_back(
+                  Task{std::move(part.slice[p]), out + part.offset[p]});
+        }
+      });
+  std::vector<Task> tasks;
+  for (auto& g : per_group)
+    for (auto& t : g) tasks.push_back(std::move(t));
+  m.run_spmd([&](std::size_t w) {
+    for (std::size_t t = w; t < tasks.size(); t += m.threads())
+      merge_runs_charged(m, w, tasks[t].runs, tasks[t].out, cmp, opt);
+  });
+  return groups;
+}
+
+}  // namespace detail
+
+template <typename T, typename Cmp = std::less<T>>
+void multiway_merge_sort(Machine& m, std::span<T> data,
+                         MultiwaySortOptions opt = {}, Cmp cmp = {}) {
+  const std::uint64_t n = data.size();
+  if (n <= 1) return;
+  const detail::RunLayout L = detail::plan_runs<T>(m, n, opt);
+  TLM_REQUIRE(L.fan >= 2, "merge fan-in must be at least 2");
+
+  if (L.nruns == 1) {
+    detail::form_run(m, 0, data.data(), data.data(), n, opt.sort_cost_factor,
+                     cmp);
+    return;
+  }
+
+  // Ping-pong parity: land the final run back in `data`.
+  const bool form_into_temp = (L.passes % 2 == 1);
+  const Space space = m.space_of(data.data());
+  std::span<T> temp = m.alloc_array<T>(space, n);
+
+  T* const base = form_into_temp ? temp.data() : data.data();
+  detail::form_runs(m, data.data(), base, n, L, opt, cmp);
+
+  T* src = base;
+  T* dst = form_into_temp ? data.data() : temp.data();
+  std::uint64_t run_len = L.run_elems;
+  std::uint64_t cur_runs = L.nruns;
+  while (cur_runs > 1) {
+    cur_runs = detail::merge_pass(m, src, dst, n, run_len, cur_runs, L.fan,
+                                  opt.merge, cmp);
+    std::swap(src, dst);
+    run_len *= L.fan;
+  }
+  TLM_CHECK(src == data.data(), "ping-pong parity failed to land in data");
+
+  m.free_array(space, temp);
+}
+
+}  // namespace tlm::sort

@@ -1,0 +1,438 @@
+// NMsort — the practical parallel near-memory sort of §IV-D.
+//
+// Phase 1 streams Θ(M)-sized chunks of the input through the scratchpad:
+// each chunk is loaded in parallel, sorted in the scratchpad by the same
+// parallel multiway mergesort used as the single-level baseline, written
+// back to far memory as a sorted run, and its bucket boundaries (BucketPos)
+// against a sorted random pivot sample are recorded alongside running
+// per-bucket totals (BucketTot, scratchpad-resident throughout). Recording
+// metadata instead of eagerly scattering buckets is the innovation that
+// avoids the many small DRAM transfers of the textbook algorithm (§III) —
+// "Without this innovation, we were unable to exploit the scratchpad
+// effectively."
+//
+// Phase 2 repeatedly takes the largest prefix of not-yet-consumed buckets
+// whose total fits in the scratchpad (batching thousands of buckets per
+// transfer), gathers the corresponding contiguous slice of every sorted run
+// into the scratchpad, multiway-merges the slices with all threads, and
+// streams the result to its final position in far memory.
+//
+// `use_bucket_metadata = false` selects the naive eager-scatter Phase 1
+// (per-chunk, per-bucket appends to far memory) so the ablation bench can
+// quantify what the metadata buys.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/units.hpp"
+#include "scratchpad/machine.hpp"
+#include "sort/merge.hpp"
+#include "sort/multiway_sort.hpp"
+#include "sort/runs.hpp"
+#include "sort/sample.hpp"
+
+namespace tlm::sort {
+
+struct NMSortOptions {
+  std::uint64_t chunk_elems = 0;  // 0 → (M − metadata) / 2 elements
+  std::size_t num_buckets = 0;    // 0 → scaled with chunk count and threads
+  std::uint64_t batch_elems = 0;  // 0 → M − metadata
+  MultiwaySortOptions inner;      // the in-scratchpad sort
+  MergeOptions merge;             // Phase 2 merge tuning
+  bool use_bucket_metadata = true;
+  std::uint64_t seed = 0x5eedULL;
+};
+
+namespace detail {
+
+// Parallel staged copy: splits [0, n) across all threads, each issuing one
+// burst. Used for chunk loads/stores and batch gathers.
+template <typename T>
+void parallel_copy(Machine& m, T* dst, const T* src, std::uint64_t n) {
+  if (n == 0) return;
+  m.run_spmd([&](std::size_t w) {
+    auto [lo, hi] = ThreadPool::chunk(static_cast<std::size_t>(n), w,
+                                      m.threads());
+    if (lo < hi)
+      m.copy(w, dst + lo, src + lo,
+             static_cast<std::uint64_t>(hi - lo) * sizeof(T));
+  });
+}
+
+struct NMGeometry {
+  std::uint64_t chunk_elems = 0;
+  std::uint64_t nchunks = 0;
+  std::size_t num_buckets = 0;
+  std::uint64_t batch_elems = 0;
+  std::uint64_t meta_bytes = 0;
+};
+
+template <typename T>
+NMGeometry nm_geometry(const Machine& m, std::uint64_t n,
+                       const NMSortOptions& opt) {
+  const TwoLevelConfig& cfg = m.config();
+  NMGeometry g;
+  // Reserve a small metadata slice of the scratchpad for the pivots,
+  // BucketTot, and a BucketPos row — Θ(M/B) entries, i.e. well under 1% of M
+  // at realistic geometries (§IV-D's overhead argument).
+  g.meta_bytes = std::clamp<std::uint64_t>(cfg.near_capacity / 16, 64 * KiB,
+                                           2 * MiB);
+  TLM_REQUIRE(g.meta_bytes * 2 < cfg.near_capacity,
+              "scratchpad too small for NMsort metadata");
+  const std::uint64_t usable = cfg.near_capacity - g.meta_bytes;
+
+  g.chunk_elems = opt.chunk_elems
+                      ? opt.chunk_elems
+                      : std::max<std::uint64_t>(1024, usable / (2 * sizeof(T)));
+  g.chunk_elems = std::min(g.chunk_elems, n);
+  g.nchunks = ceil_div(n, g.chunk_elems);
+
+  // Metadata arrays (pivots + BucketTot + one BucketPos row) must fit in the
+  // reserved slice: three arrays of ~num_buckets entries of 8 bytes.
+  const std::uint64_t nb_cap =
+      std::max<std::uint64_t>(1, g.meta_bytes / (4 * sizeof(std::uint64_t)) /
+                                     3);
+  if (opt.num_buckets) {
+    g.num_buckets = opt.num_buckets;
+    TLM_REQUIRE(g.num_buckets <= nb_cap,
+                "num_buckets exceeds the scratchpad metadata budget");
+  } else {
+    // Enough buckets that Phase 2 batches stay fine-grained (the paper
+    // batched "thousands of buckets into one transfer"), capped so the
+    // metadata and the sampling cost stay negligible.
+    const std::uint64_t want =
+        std::max<std::uint64_t>(64, g.nchunks * m.threads() * 8);
+    g.num_buckets = static_cast<std::size_t>(std::min<std::uint64_t>(
+        {want, nb_cap, 4096, std::max<std::uint64_t>(1, n / 4)}));
+  }
+
+  g.batch_elems =
+      opt.batch_elems ? opt.batch_elems
+                      : std::max<std::uint64_t>(1024, usable / sizeof(T));
+  return g;
+}
+
+}  // namespace detail
+
+// Sorts `input` into `output` (both far-resident, non-overlapping). This is
+// the paper's layout: DRAM holds the input/run area and the final list.
+template <typename T, typename Cmp = std::less<T>>
+void nm_sort_into(Machine& m, std::span<const T> input, std::span<T> output,
+                  NMSortOptions opt = {}, Cmp cmp = {}) {
+  TLM_REQUIRE(input.size() == output.size(), "output must match input size");
+  const std::uint64_t n = input.size();
+  if (n == 0) return;
+  TLM_REQUIRE(m.space_of(input.data()) == Space::Far &&
+                  m.space_of(output.data()) == Space::Far,
+              "NMsort operands live in far memory");
+  m.adopt_far(input.data(), input.size_bytes());
+  m.adopt_far(output.data(), output.size_bytes());
+
+  const detail::NMGeometry g = detail::nm_geometry<T>(m, n, opt);
+
+  // ---- single-chunk fast path: the whole input fits in the scratchpad ----
+  // (the paper's own Table I regime: the near memory "can store several
+  // copies" of the array). Fused pipeline: run formation streams far->near,
+  // intermediate merge passes stay in near, the final pass streams to far.
+  if (g.nchunks == 1) {
+    m.begin_phase("nmsort.phase1");
+    std::span<T> buf = m.alloc_array<T>(Space::Near, n);
+    std::span<T> tmp = m.alloc_array<T>(Space::Near, n);
+    const detail::RunLayout L = detail::plan_runs<T>(m, n, opt.inner);
+    detail::form_runs(m, input.data(), buf.data(), n, L, opt.inner, cmp);
+    T* src = buf.data();
+    T* dst = tmp.data();
+    std::uint64_t run_len = L.run_elems;
+    std::uint64_t cur = L.nruns;
+    while (cur > L.fan) {
+      cur = detail::merge_pass(m, src, dst, n, run_len, cur, L.fan,
+                                  opt.inner.merge, cmp);
+      std::swap(src, dst);
+      run_len *= L.fan;
+    }
+    if (cur == 1) {
+      detail::parallel_copy(m, output.data(), src, n);
+    } else {
+      auto rs = detail::group_runs(static_cast<const T*>(src), n, run_len,
+                                      cur, cur, 0);
+      parallel_multiway_merge(m, rs, output, cmp, opt.merge);
+    }
+    m.free_array(Space::Near, tmp);
+    m.free_array(Space::Near, buf);
+    m.end_phase();
+    return;
+  }
+
+  const std::size_t nb = g.num_buckets;
+  const std::size_t npivots = nb - 1;
+
+  // ---- pivot sample (§III-A) ---------------------------------------------
+  m.begin_phase("nmsort.sample");
+  std::span<T> pivots;
+  if (npivots > 0) pivots = sample_pivots(m, 0, input, npivots, opt.seed, cmp);
+
+  // Scratchpad-resident metadata.
+  std::span<std::uint64_t> bucket_tot =
+      m.alloc_array<std::uint64_t>(Space::Near, nb);
+  std::fill(bucket_tot.begin(), bucket_tot.end(), 0);
+  m.stream_write(0, bucket_tot.data(), bucket_tot.size_bytes());
+  std::span<std::uint64_t> pos_row =
+      m.alloc_array<std::uint64_t>(Space::Near, nb + 1);
+
+  // Far-resident sorted-run area and BucketPos matrix (Fig. 2(d)).
+  std::span<T> runs_area = m.alloc_array<T>(Space::Far, n);
+  std::span<std::uint64_t> bucket_pos =
+      m.alloc_array<std::uint64_t>(Space::Far, g.nchunks * (nb + 1));
+
+  if (opt.use_bucket_metadata) {
+    // ======================= Phase 1 (Fig. 2) ============================
+    // Fused chunk pipeline: run formation streams the far chunk directly
+    // into the scratchpad, intermediate merge passes ping-pong inside it,
+    // bucket boundaries are computed against the near-resident runs, and
+    // the final merge pass streams the sorted chunk to far memory — no
+    // redundant staging copies.
+    m.begin_phase("nmsort.phase1");
+    std::span<T> chunk_buf = m.alloc_array<T>(Space::Near, g.chunk_elems);
+    std::span<T> temp_buf = m.alloc_array<T>(Space::Near, g.chunk_elems);
+    for (std::uint64_t c = 0; c < g.nchunks; ++c) {
+      const std::uint64_t b = c * g.chunk_elems;
+      const std::uint64_t len = std::min(g.chunk_elems, n - b);
+
+      const detail::RunLayout L = detail::plan_runs<T>(m, len, opt.inner);
+      detail::form_runs(m, input.data() + b, chunk_buf.data(), len, L,
+                        opt.inner, cmp);
+      T* src = chunk_buf.data();
+      T* dst = temp_buf.data();
+      std::uint64_t run_len = L.run_elems;
+      std::uint64_t cur = L.nruns;
+      while (cur > L.fan) {
+        cur = detail::merge_pass(m, src, dst, len, run_len, cur, L.fan,
+                                 opt.inner.merge, cmp);
+        std::swap(src, dst);
+        run_len *= L.fan;
+      }
+      const auto rs = detail::group_runs(static_cast<const T*>(src), len,
+                                         run_len, cur, cur, 0);
+
+      // Bucket boundaries, in parallel across pivots: the position inside
+      // the (about-to-be-merged) sorted chunk is the sum of per-run lower
+      // bounds. Each worker sweeps its ascending pivot slice forward
+      // through every run, so per (worker, run) the traffic is one
+      // contiguous scratchpad stream over the swept span (the probes stay
+      // inside lines the sweep touches anyway), plus the comparison work.
+      pos_row[0] = 0;
+      pos_row[nb] = len;
+      if (npivots > 0) {
+        m.parallel_for(1, nb, [&](std::size_t w, std::size_t lo,
+                                  std::size_t hi) {
+          std::vector<const T*> prev(rs.size());
+          std::vector<const T*> sweep_from(rs.size());
+          for (std::size_t j = 0; j < rs.size(); ++j) {
+            prev[j] = std::lower_bound(rs[j].begin, rs[j].end,
+                                       pivots[lo - 1], cmp);
+            sweep_from[j] = prev[j];
+          }
+          std::uint64_t first_pos = 0;
+          for (std::size_t j = 0; j < rs.size(); ++j)
+            first_pos += static_cast<std::uint64_t>(prev[j] - rs[j].begin);
+          pos_row[lo] = first_pos;
+          for (std::size_t i = lo + 1; i < hi; ++i) {
+            std::uint64_t pos = 0;
+            for (std::size_t j = 0; j < rs.size(); ++j) {
+              prev[j] = std::lower_bound(prev[j], rs[j].end, pivots[i - 1],
+                                         cmp);
+              pos += static_cast<std::uint64_t>(prev[j] - rs[j].begin);
+            }
+            pos_row[i] = pos;
+          }
+          const std::uint64_t line = m.config().block_bytes;
+          for (std::size_t j = 0; j < rs.size(); ++j)
+            m.stream_read(
+                w, sweep_from[j],
+                static_cast<std::uint64_t>(prev[j] - sweep_from[j]) *
+                        sizeof(T) +
+                    line);
+          m.compute(w, static_cast<double>(hi - lo) *
+                           static_cast<double>(rs.size()) * 16.0);
+        });
+      }
+      // Aggregate running bucket totals (BucketTot stays in near memory).
+      m.parallel_for(0, nb, [&](std::size_t w, std::size_t lo,
+                                std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          bucket_tot[i] += pos_row[i + 1] - pos_row[i];
+        m.stream_write(w, bucket_tot.data() + lo,
+                       (hi - lo) * sizeof(std::uint64_t));
+      });
+      // Write the BucketPos row, then stream the sorted chunk to far memory
+      // through the final merge pass (Fig. 2(b)).
+      m.copy(0, bucket_pos.data() + c * (nb + 1), pos_row.data(),
+             (nb + 1) * sizeof(std::uint64_t));
+      parallel_multiway_merge(m, rs, runs_area.subspan(b, len), cmp,
+                              opt.merge);
+    }
+    m.free_array(Space::Near, temp_buf);
+    m.free_array(Space::Near, chunk_buf);
+    m.end_phase();
+
+    // ======================= Phase 2 (Fig. 3) ============================
+    m.begin_phase("nmsort.phase2");
+    // The planner consults BucketTot (near) and BucketPos (far): charge one
+    // streaming read of each.
+    m.stream_read(0, bucket_tot.data(), bucket_tot.size_bytes());
+    m.stream_read(0, bucket_pos.data(), bucket_pos.size_bytes());
+
+    auto row = [&](std::uint64_t c) {
+      return bucket_pos.data() + c * (nb + 1);
+    };
+    std::span<T> batch_buf = m.alloc_array<T>(
+        Space::Near,
+        std::min<std::uint64_t>(g.batch_elems, n));
+    std::uint64_t out_off = 0;
+    std::size_t r = 0;
+    while (r < nb) {
+      // Largest k with BucketTot[r..k] within one scratchpad batch.
+      std::size_t k = r;
+      std::uint64_t acc = 0;
+      while (k < nb && acc + bucket_tot[k] <= batch_buf.size()) {
+        acc += bucket_tot[k];
+        ++k;
+      }
+      if (k == r) {
+        // One bucket exceeds the scratchpad: merge its slices directly from
+        // far memory (correct, just without the bandwidth advantage).
+        const std::uint64_t big = bucket_tot[r];
+        std::vector<Run<T>> far_runs;
+        for (std::uint64_t c = 0; c < g.nchunks; ++c) {
+          const T* base = runs_area.data() + c * g.chunk_elems;
+          const std::uint64_t lo = row(c)[r], hi = row(c)[r + 1];
+          if (lo < hi) far_runs.push_back(Run<T>{base + lo, base + hi});
+        }
+        parallel_multiway_merge(
+            m, far_runs, output.subspan(out_off, big), cmp, opt.merge);
+        out_off += big;
+        ++r;
+        continue;
+      }
+      // Gather the [r, k) slice of every sorted run into the scratchpad.
+      std::vector<Run<T>> near_runs;
+      near_runs.reserve(static_cast<std::size_t>(g.nchunks));
+      std::uint64_t fill = 0;
+      for (std::uint64_t c = 0; c < g.nchunks; ++c) {
+        const T* base = runs_area.data() + c * g.chunk_elems;
+        const std::uint64_t lo = row(c)[r], hi = row(c)[k];
+        if (lo >= hi) continue;
+        T* dst = batch_buf.data() + fill;
+        detail::parallel_copy(m, dst, base + lo, hi - lo);
+        near_runs.push_back(Run<T>{dst, dst + (hi - lo)});
+        fill += hi - lo;
+      }
+      TLM_CHECK(fill == acc, "batch gather size mismatch");
+      parallel_multiway_merge(m, near_runs, output.subspan(out_off, acc), cmp,
+                              opt.merge);
+      out_off += acc;
+      r = k;
+    }
+    TLM_CHECK(out_off == n, "phase 2 did not emit every element");
+    m.free_array(Space::Near, batch_buf);
+    m.end_phase();
+  } else {
+    // ============== Naive eager-scatter variant (ablation) ===============
+    // The §III/§IV-C behaviour NMsort improves on: after sorting each chunk,
+    // append every bucket's elements to that bucket's far array immediately,
+    // producing Θ(nchunks · nb) small DRAM transfers.
+    m.begin_phase("nmsort.naive_scatter");
+    // Every (chunk, bucket) piece becomes its own small far allocation and
+    // transfer — the inefficiency NMsort's metadata removes. Segmented
+    // storage keeps the variant robust even for fully degenerate inputs
+    // (all keys in one bucket).
+    std::vector<std::vector<std::span<T>>> pieces(nb);
+
+    std::span<T> chunk_buf = m.alloc_array<T>(Space::Near, g.chunk_elems);
+    for (std::uint64_t c = 0; c < g.nchunks; ++c) {
+      const std::uint64_t b = c * g.chunk_elems;
+      const std::uint64_t len = std::min(g.chunk_elems, n - b);
+      std::span<T> chunk = chunk_buf.subspan(0, len);
+      detail::parallel_copy(m, chunk.data(), input.data() + b, len);
+      multiway_merge_sort(m, chunk, opt.inner, cmp);
+
+      pos_row[0] = 0;
+      pos_row[nb] = len;
+      m.parallel_for(1, nb, [&](std::size_t w, std::size_t lo,
+                                std::size_t hi) {
+        const T* prev = chunk.data();
+        for (std::size_t i = lo; i < hi; ++i) {
+          prev = charged_gallop_lower_bound(m, w, prev, chunk.data() + len,
+                                            pivots[i - 1], cmp);
+          pos_row[i] = static_cast<std::uint64_t>(prev - chunk.data());
+        }
+      });
+      // The inefficient part: one small append per non-empty bucket.
+      // (Allocation happens on the orchestrator; the copies — the modeled
+      // traffic — run in parallel like the original's appends.)
+      std::vector<std::span<T>> chunk_pieces(nb);
+      for (std::size_t i = 0; i < nb; ++i) {
+        const std::uint64_t cnt = pos_row[i + 1] - pos_row[i];
+        if (cnt) chunk_pieces[i] = m.alloc_array<T>(Space::Far, cnt);
+      }
+      m.parallel_for(0, nb, [&](std::size_t w, std::size_t lo,
+                                std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (chunk_pieces[i].empty()) continue;
+          m.copy(w, chunk_pieces[i].data(), chunk.data() + pos_row[i],
+                 chunk_pieces[i].size_bytes());
+        }
+      });
+      for (std::size_t i = 0; i < nb; ++i)
+        if (!chunk_pieces[i].empty()) pieces[i].push_back(chunk_pieces[i]);
+    }
+    m.free_array(Space::Near, chunk_buf);
+    m.end_phase();
+
+    m.begin_phase("nmsort.naive_merge");
+    std::uint64_t out_off = 0;
+    for (std::size_t i = 0; i < nb; ++i) {
+      std::uint64_t bucket_total = 0;
+      std::vector<Run<T>> rs;
+      for (const auto& p : pieces[i]) {
+        rs.push_back(Run<T>{p.data(), p.data() + p.size()});
+        bucket_total += p.size();
+      }
+      if (bucket_total == 0) continue;
+      parallel_multiway_merge(m, rs, output.subspan(out_off, bucket_total),
+                              cmp, opt.merge);
+      out_off += bucket_total;
+      for (const auto& p : pieces[i]) m.free_array(Space::Far, p);
+    }
+    TLM_CHECK(out_off == n, "naive merge did not emit every element");
+    m.end_phase();
+  }
+
+  // ---- cleanup -------------------------------------------------------------
+  m.free_array(Space::Far, bucket_pos);
+  m.free_array(Space::Far, runs_area);
+  m.free_array(Space::Near, pos_row);
+  m.free_array(Space::Near, bucket_tot);
+  if (!pivots.empty()) m.free_array(Space::Near, pivots);
+}
+
+// In-place convenience wrapper: sorts through a far temp area and copies the
+// result back (one extra far pass; prefer nm_sort_into for measurements).
+template <typename T, typename Cmp = std::less<T>>
+void nm_sort(Machine& m, std::span<T> data, NMSortOptions opt = {},
+             Cmp cmp = {}) {
+  if (data.size() <= 1) return;
+  m.adopt_far(data.data(), data.size_bytes());
+  std::span<T> out = m.alloc_array<T>(Space::Far, data.size());
+  nm_sort_into(m, std::span<const T>(data.data(), data.size()), out, opt, cmp);
+  detail::parallel_copy(m, data.data(), out.data(), data.size());
+  m.free_array(Space::Far, out);
+}
+
+}  // namespace tlm::sort

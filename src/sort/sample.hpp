@@ -1,0 +1,50 @@
+// Random pivot sampling (§III-A): select Θ(M/B) elements of the input,
+// move them into the scratchpad, and sort them there. The sorted sample
+// defines the bucket boundaries for both the sequential scratchpad sort and
+// NMsort.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+#include "common/rng.hpp"
+#include "scratchpad/machine.hpp"
+
+namespace tlm::sort {
+
+// Samples `count` pivots (with replacement) from far-resident `data` into a
+// freshly allocated near array, sorts them there, and returns the near span.
+// Caller frees with m.free_array(Space::Near, ...). The gathers are split
+// across all threads (§IV-C: "we can randomly choose the elements of X and
+// move them into the scratchpad in parallel"); each costs one far line read
+// — the O(m) block transfers of Lemma 4. The pivot sort's compute is
+// charged as a parallel sort's span.
+template <typename T, typename Cmp = std::less<T>>
+std::span<T> sample_pivots(Machine& m, std::size_t /*thread*/,
+                           std::span<const T> data, std::size_t count,
+                           std::uint64_t seed, Cmp cmp = {}) {
+  TLM_REQUIRE(count >= 1 && !data.empty(), "cannot sample an empty input");
+  std::span<T> pivots = m.alloc_array<T>(Space::Near, count);
+  const std::uint64_t line = m.config().block_bytes;
+  const Xoshiro256 root(seed);
+  m.parallel_for(0, count, [&](std::size_t w, std::size_t lo,
+                               std::size_t hi) {
+    Xoshiro256 rng = root.fork(w);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::uint64_t idx = rng.below(data.size());
+      m.stream_read(w, data.data() + idx,
+                    std::min<std::uint64_t>(line, sizeof(T)));
+      pivots[i] = data[idx];
+    }
+    m.stream_write(w, pivots.data() + lo, (hi - lo) * sizeof(T));
+  });
+  std::sort(pivots.begin(), pivots.end(), cmp);
+  m.compute(0, static_cast<double>(count) *
+                   (std::log2(static_cast<double>(count) + 2) + 1) /
+                   static_cast<double>(m.threads()));
+  return pivots;
+}
+
+}  // namespace tlm::sort

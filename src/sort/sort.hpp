@@ -1,0 +1,12 @@
+// Umbrella header for the sorting library — the paper's primary
+// contribution (§III, §IV) plus the baseline it is evaluated against (§V).
+#pragma once
+
+#include "sort/baseline.hpp"        // GNU-style parallel multiway mergesort
+#include "sort/merge.hpp"           // charged k-way merging
+#include "sort/multiway_sort.hpp"   // space-local parallel mergesort
+#include "sort/nmsort.hpp"          // NMsort (§IV-D)
+#include "sort/parallel_scratchpad_sort.hpp"  // Theorem 10's algorithm (§IV-C)
+#include "sort/runs.hpp"            // run descriptors & splitters
+#include "sort/sample.hpp"          // pivot sampling (§III-A)
+#include "sort/scratchpad_sort.hpp" // sequential scratchpad sort (§III)

@@ -1,0 +1,93 @@
+#include "trace/capture.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace tlm::trace {
+
+TraceBuffer::TraceBuffer(std::size_t threads) : streams_(threads) {
+  TLM_REQUIRE(threads >= 1, "trace needs at least one thread stream");
+}
+
+void TraceBuffer::append(std::size_t thread, TraceOp op) {
+  TLM_REQUIRE(thread < streams_.size(), "thread id outside trace");
+  auto& s = streams_[thread];
+  if (!s.empty()) {
+    TraceOp& last = s.back();
+    // Coalesce contiguous bursts of the same kind and adjacent compute ops;
+    // this typically shrinks traces by an order of magnitude.
+    if (op.kind == last.kind) {
+      if (op.kind == OpKind::Compute) {
+        last.ops += op.ops;
+        return;
+      }
+      if ((op.kind == OpKind::Read || op.kind == OpKind::Write) &&
+          last.addr + last.bytes == op.addr) {
+        last.bytes += op.bytes;
+        return;
+      }
+    }
+  }
+  s.push_back(op);
+}
+
+void TraceBuffer::on_read(std::size_t thread, std::uint64_t vaddr,
+                          std::uint64_t bytes) {
+  append(thread, TraceOp{OpKind::Read, vaddr, bytes, 0});
+}
+
+void TraceBuffer::on_write(std::size_t thread, std::uint64_t vaddr,
+                           std::uint64_t bytes) {
+  append(thread, TraceOp{OpKind::Write, vaddr, bytes, 0});
+}
+
+void TraceBuffer::on_compute(std::size_t thread, double ops) {
+  append(thread, TraceOp{OpKind::Compute, 0, 0, ops});
+}
+
+void TraceBuffer::on_barrier(std::size_t thread, std::uint64_t barrier_id) {
+  append(thread, TraceOp{OpKind::Barrier, barrier_id, 0, 0});
+}
+
+TraceSummary TraceBuffer::summary() const {
+  TraceSummary t;
+  for (const auto& s : streams_) {
+    for (const auto& op : s) {
+      switch (op.kind) {
+        case OpKind::Read:
+          ++t.reads;
+          t.read_bytes += op.bytes;
+          break;
+        case OpKind::Write:
+          ++t.writes;
+          t.write_bytes += op.bytes;
+          break;
+        case OpKind::Compute:
+          ++t.computes;
+          t.compute_ops += op.ops;
+          break;
+        case OpKind::Barrier:
+          ++t.barriers;
+          break;
+      }
+    }
+  }
+  return t;
+}
+
+void TraceBuffer::clear() {
+  for (auto& s : streams_) s.clear();
+}
+
+std::string TraceBuffer::describe() const {
+  std::ostringstream os;
+  const TraceSummary t = summary();
+  os << "trace: " << streams_.size() << " threads, " << t.reads << " reads ("
+     << t.read_bytes << " B), " << t.writes << " writes (" << t.write_bytes
+     << " B), " << t.computes << " compute segments (" << t.compute_ops
+     << " ops), " << t.barriers << " barrier crossings";
+  return os.str();
+}
+
+}  // namespace tlm::trace

@@ -1,0 +1,53 @@
+// TraceBuffer: an in-memory TraceSink that records one ordered op stream per
+// thread, coalescing adjacent compatible ops to keep traces compact.
+//
+// Attach one to a Machine, run an algorithm, then hand the streams to the
+// simulator's TraceCores (sim/system.hpp) for cycle-level replay.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/sink.hpp"
+
+namespace tlm::trace {
+
+struct TraceSummary {
+  std::uint64_t reads = 0, writes = 0, computes = 0, barriers = 0;
+  std::uint64_t read_bytes = 0, write_bytes = 0;
+  double compute_ops = 0;
+  std::uint64_t total_ops() const { return reads + writes + computes + barriers; }
+};
+
+class TraceBuffer final : public TraceSink {
+ public:
+  explicit TraceBuffer(std::size_t threads);
+
+  void on_read(std::size_t thread, std::uint64_t vaddr,
+               std::uint64_t bytes) override;
+  void on_write(std::size_t thread, std::uint64_t vaddr,
+                std::uint64_t bytes) override;
+  void on_compute(std::size_t thread, double ops) override;
+  void on_barrier(std::size_t thread, std::uint64_t barrier_id) override;
+
+  std::size_t threads() const { return streams_.size(); }
+  const std::vector<TraceOp>& stream(std::size_t thread) const {
+    return streams_.at(thread);
+  }
+  const std::vector<std::vector<TraceOp>>& streams() const { return streams_; }
+
+  TraceSummary summary() const;
+  void clear();
+
+  // Human-readable digest (op counts per thread) for logs and tests.
+  std::string describe() const;
+
+ private:
+  void append(std::size_t thread, TraceOp op);
+
+  std::vector<std::vector<TraceOp>> streams_;
+};
+
+}  // namespace tlm::trace

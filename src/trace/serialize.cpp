@@ -1,0 +1,104 @@
+#include "trace/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/assert.hpp"
+
+namespace tlm::trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'L', 'M', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t threads;
+};
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::istream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  TLM_REQUIRE(is.good(), "truncated trace stream");
+}
+
+}  // namespace
+
+void save_trace(const TraceBuffer& tb, std::ostream& os) {
+  Header h{};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.version = kVersion;
+  h.threads = static_cast<std::uint32_t>(tb.threads());
+  write_pod(os, h);
+  for (std::size_t t = 0; t < tb.threads(); ++t) {
+    const auto& s = tb.stream(t);
+    write_pod(os, static_cast<std::uint64_t>(s.size()));
+    if (!s.empty())
+      os.write(reinterpret_cast<const char*>(s.data()),
+               static_cast<std::streamsize>(s.size() * sizeof(TraceOp)));
+  }
+  TLM_REQUIRE(os.good(), "trace write failed");
+}
+
+TraceBuffer load_trace(std::istream& is) {
+  Header h{};
+  read_pod(is, h);
+  TLM_REQUIRE(std::memcmp(h.magic, kMagic, sizeof(kMagic)) == 0,
+              "not a trace file (bad magic)");
+  TLM_REQUIRE(h.version == kVersion, "unsupported trace version");
+  TLM_REQUIRE(h.threads >= 1 && h.threads <= 1 << 20,
+              "implausible thread count in trace header");
+
+  TraceBuffer tb(h.threads);
+  for (std::uint32_t t = 0; t < h.threads; ++t) {
+    std::uint64_t count = 0;
+    read_pod(is, count);
+    TLM_REQUIRE(count <= (1ULL << 40), "implausible op count in trace");
+    for (std::uint64_t i = 0; i < count; ++i) {
+      TraceOp op{};
+      read_pod(is, op);
+      // Re-emit through the public interface so invariants (coalescing,
+      // thread bounds) are re-established on load.
+      switch (op.kind) {
+        case OpKind::Read:
+          tb.on_read(t, op.addr, op.bytes);
+          break;
+        case OpKind::Write:
+          tb.on_write(t, op.addr, op.bytes);
+          break;
+        case OpKind::Compute:
+          tb.on_compute(t, op.ops);
+          break;
+        case OpKind::Barrier:
+          tb.on_barrier(t, op.addr);
+          break;
+        default:
+          TLM_REQUIRE(false, "unknown op kind in trace");
+      }
+    }
+  }
+  return tb;
+}
+
+void save_trace_file(const TraceBuffer& tb, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  TLM_REQUIRE(os.is_open(), "cannot open trace file for writing: " + path);
+  save_trace(tb, os);
+}
+
+TraceBuffer load_trace_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  TLM_REQUIRE(is.is_open(), "cannot open trace file: " + path);
+  return load_trace(is);
+}
+
+}  // namespace tlm::trace

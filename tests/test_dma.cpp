@@ -1,0 +1,146 @@
+// Tests for the DMA engine (§VI-B/§VII future work): completion semantics,
+// FIFO ordering, line accounting, and the overlap benefit on the full node.
+#include <gtest/gtest.h>
+
+#include "sim/dma.hpp"
+#include "sim/memory.hpp"
+#include "sim/noc.hpp"
+#include "sim/simulator.hpp"
+#include "sim/system.hpp"
+#include "trace/capture.hpp"
+
+namespace tlm::sim {
+namespace {
+
+struct DmaRig {
+  Simulator sim;
+  Crossbar xbar{sim, NocConfig{}};
+  FarMemory far;
+  NearMemory near;
+  DmaEngine dma;
+
+  DmaRig()
+      : far(sim, FarMemConfig{}),
+        near(sim, NearMemConfig{}),
+        dma(sim, DmaConfig{}, nullptr_init()) {}
+
+  MemPort* nullptr_init() {
+    const std::size_t ep = xbar.add_endpoint("dma", 100e9);
+    const std::size_t fep = xbar.add_endpoint("far", 200e9);
+    const std::size_t nep = xbar.add_endpoint("near", 200e9);
+    // Routes reference components constructed after xbar: wire them lazily
+    // in the body below via a second phase.
+    (void)fep;
+    (void)nep;
+    port_ep_ = ep;
+    return xbar.port(ep);
+  }
+
+  void wire() {
+    xbar.add_route(trace::kFarBase, trace::kNearBase, 1, &far);
+    xbar.add_route(trace::kNearBase, ~0ULL, 2, &near);
+  }
+
+  std::size_t port_ep_ = 0;
+};
+
+TEST(DmaEngine, CopyCompletesAndCountsLines) {
+  DmaRig rig;
+  rig.wire();
+  bool done = false;
+  rig.dma.copy(trace::kFarBase, trace::kNearBase, 64 * 100,
+               [&] { done = true; });
+  rig.sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(rig.dma.idle());
+  EXPECT_EQ(rig.dma.stats().lines, 100u);
+  EXPECT_EQ(rig.far.stats().reads, 100u);
+  EXPECT_EQ(rig.near.stats().writes, 100u);
+}
+
+TEST(DmaEngine, DescriptorsCompleteInFifoOrder) {
+  DmaRig rig;
+  rig.wire();
+  std::vector<int> order;
+  rig.dma.copy(trace::kFarBase, trace::kNearBase, 64 * 50,
+               [&] { order.push_back(1); });
+  rig.dma.copy(trace::kFarBase + 64 * 50, trace::kNearBase + 64 * 50,
+               64 * 10, [&] { order.push_back(2); });
+  rig.sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(DmaEngine, NearToFarDirectionWorks) {
+  DmaRig rig;
+  rig.wire();
+  rig.dma.copy(trace::kNearBase, trace::kFarBase, 64 * 25);
+  rig.sim.run();
+  EXPECT_EQ(rig.near.stats().reads, 25u);
+  EXPECT_EQ(rig.far.stats().writes, 25u);
+}
+
+TEST(DmaEngine, RejectsMisalignedOperands) {
+  DmaRig rig;
+  rig.wire();
+  EXPECT_THROW(rig.dma.copy(trace::kFarBase + 8, trace::kNearBase, 64),
+               std::invalid_argument);
+  EXPECT_THROW(rig.dma.copy(trace::kFarBase, trace::kNearBase, 0),
+               std::invalid_argument);
+}
+
+// Copying 1 MiB from far memory cannot beat the far STREAM bandwidth, and
+// with enough in-flight lines to hide the access latency it should come
+// within ~2x of it.
+TEST(DmaEngine, ThroughputTracksSourceBandwidthDeepPipeline) {
+  Simulator sim;
+  Crossbar xbar(sim, NocConfig{});
+  FarMemory far(sim, FarMemConfig{});
+  NearMemory near(sim, NearMemConfig{});
+  const std::size_t ep = xbar.add_endpoint("dma", 100e9);
+  const std::size_t fep = xbar.add_endpoint("far", 200e9);
+  const std::size_t nep = xbar.add_endpoint("near", 200e9);
+  xbar.add_route(trace::kFarBase, trace::kNearBase, fep, &far);
+  xbar.add_route(trace::kNearBase, ~0ULL, nep, &near);
+  DmaConfig dc;
+  dc.max_outstanding = 128;
+  DmaEngine dma(sim, dc, xbar.port(ep));
+  const std::uint64_t bytes = 1 << 20;
+  dma.copy(trace::kFarBase, trace::kNearBase, bytes);
+  sim.run();
+  const double t = to_seconds(sim.now());
+  const double floor_s = static_cast<double>(bytes) / FarMemConfig{}.total_bw();
+  EXPECT_GE(t, floor_s * 0.95);
+  EXPECT_LE(t, floor_s * 2.5);
+}
+
+TEST(DmaEngine, OverlapBeatsSequentialStaging) {
+  // Core computes for T while the DMA stages data: the combined run should
+  // take ~max(T, transfer) rather than T + transfer.
+  auto run = [&](bool overlap) {
+    DmaRig rig;
+    rig.wire();
+    const std::uint64_t bytes = 2 << 20;
+    double compute_done = 0, dma_done = 0;
+    if (overlap) {
+      rig.dma.copy(trace::kFarBase, trace::kNearBase, bytes,
+                   [&] { dma_done = to_seconds(rig.sim.now()); });
+      rig.sim.schedule(from_seconds(100e-6),
+                       [&] { compute_done = to_seconds(rig.sim.now()); });
+    } else {
+      rig.dma.copy(trace::kFarBase, trace::kNearBase, bytes, [&] {
+        dma_done = to_seconds(rig.sim.now());
+        rig.sim.schedule(from_seconds(100e-6), [&] {
+          compute_done = to_seconds(rig.sim.now());
+        });
+      });
+    }
+    rig.sim.run();
+    return std::max(compute_done, dma_done);
+  };
+  const double seq = run(false);
+  const double par = run(true);
+  EXPECT_LT(par, seq * 0.75);
+}
+
+}  // namespace
+}  // namespace tlm::sim

@@ -1,0 +1,152 @@
+// Tests for the §VII k-means extension: correctness of clustering, the
+// far/near traffic split, and the ρ-speedup mechanism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "kmeans/kmeans.hpp"
+
+namespace tlm::kmeans {
+namespace {
+
+TwoLevelConfig km_config(double rho = 4.0) {
+  TwoLevelConfig c = test_config(rho);
+  c.near_capacity = 8 * MiB;
+  c.threads = 4;
+  return c;
+}
+
+KMeansOptions opts(std::size_t k, std::size_t d) {
+  KMeansOptions o;
+  o.k = k;
+  o.dims = d;
+  o.max_iters = 25;
+  o.seed = 77;
+  return o;
+}
+
+TEST(KMeans, BlobsHaveExpectedShape) {
+  auto pts = make_blobs(1000, 3, 4, 11);
+  EXPECT_EQ(pts.size(), 3000u);
+  // Deterministic per seed.
+  EXPECT_EQ(pts, make_blobs(1000, 3, 4, 11));
+  EXPECT_NE(pts, make_blobs(1000, 3, 4, 12));
+}
+
+TEST(KMeans, FarAndNearAgreeOnCentroids) {
+  const auto pts = make_blobs(20000, 4, 8, 3);
+  Machine mf(km_config());
+  Machine mn(km_config());
+  const auto rf = kmeans_far(mf, pts, opts(8, 4));
+  const auto rn = kmeans_near(mn, pts, opts(8, 4));
+  // Same seed, same data, same arithmetic: identical trajectories.
+  EXPECT_EQ(rf.iterations, rn.iterations);
+  EXPECT_DOUBLE_EQ(rf.inertia, rn.inertia);
+  EXPECT_EQ(rf.centroids, rn.centroids);
+}
+
+TEST(KMeans, ConvergesOnSeparatedBlobs) {
+  const auto pts = make_blobs(20000, 4, 4, 5);
+  Machine m(km_config());
+  const auto r = kmeans_far(m, pts, opts(4, 4));
+  EXPECT_TRUE(r.converged);
+  // Inertia per point should be on the order of the injected noise (<~ 50),
+  // far below the blob separation scale (100^2).
+  EXPECT_LT(r.inertia / 20000.0, 100.0);
+}
+
+TEST(KMeans, NearVersionMovesTrafficToScratchpad) {
+  const auto pts = make_blobs(50000, 4, 8, 9);
+  Machine mf(km_config());
+  Machine mn(km_config());
+  KMeansOptions o = opts(8, 4);
+  o.max_iters = 10;
+  o.tol = 0;  // force all iterations
+  kmeans_far(mf, pts, o);
+  kmeans_near(mn, pts, o);
+
+  const auto sf = mf.stats().total;
+  const auto sn = mn.stats().total;
+  const std::uint64_t bytes = pts.size() * sizeof(double);
+  // Far version streams the points from DRAM every iteration.
+  EXPECT_GE(sf.far_read_bytes, 10 * bytes);
+  EXPECT_EQ(sf.near_bytes(), 0u);
+  // Near version touches DRAM once (staging) and streams near thereafter.
+  EXPECT_LT(sn.far_read_bytes, 2 * bytes);
+  EXPECT_GE(sn.near_read_bytes, 10 * bytes);
+}
+
+TEST(KMeans, SpeedupApproachesRhoWhenMemoryBound) {
+  const auto pts = make_blobs(100000, 4, 4, 13);
+  KMeansOptions o = opts(4, 4);
+  o.max_iters = 20;
+  o.tol = 0;
+  const double iters = static_cast<double>(o.max_iters);
+  for (double rho : {2.0, 4.0, 8.0}) {
+    TwoLevelConfig cfg = km_config(rho);
+    cfg.core_rate = 1e13;  // make compute free: fully bandwidth bound
+    Machine mf(cfg);
+    Machine mn(cfg);
+    kmeans_far(mf, pts, o);
+    kmeans_near(mn, pts, o);
+    const double speedup = mf.elapsed_seconds() / mn.elapsed_seconds();
+    // Far version: `iters` DRAM passes. Near version: one staging pass
+    // (DRAM read + near write) plus `iters` near passes at ρ× bandwidth.
+    const double expected = iters / (1.0 + 1.0 / rho + iters / rho);
+    EXPECT_NEAR(speedup, expected, expected * 0.15) << "rho=" << rho;
+    EXPECT_LT(speedup, rho) << "rho=" << rho;  // staging keeps it below ρ
+  }
+}
+
+TEST(KMeans, AssignmentsLabelEveryPointWithNearestCentroid) {
+  const std::size_t n = 10'000;
+  const auto pts = make_blobs(n, 3, 4, 21);
+  Machine m(km_config());
+  KMeansOptions o = opts(4, 3);
+  o.produce_assignments = true;
+  const auto r = kmeans_far(m, pts, o);
+  ASSERT_EQ(r.assignments.size(), n);
+  // Spot-check: each label is within range and is the argmin centroid.
+  for (std::size_t i = 0; i < n; i += 997) {
+    ASSERT_LT(r.assignments[i], 4u);
+    double best = std::numeric_limits<double>::infinity();
+    std::uint32_t best_c = 0;
+    for (std::uint32_t c = 0; c < 4; ++c) {
+      double dist = 0;
+      for (std::size_t j = 0; j < 3; ++j) {
+        const double diff = pts[i * 3 + j] - r.centroids[c * 3 + j];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    EXPECT_EQ(r.assignments[i], best_c) << "point " << i;
+  }
+}
+
+TEST(KMeans, AssignmentsOffByDefault) {
+  const auto pts = make_blobs(2000, 3, 2, 22);
+  Machine m(km_config());
+  const auto r = kmeans_far(m, pts, opts(2, 3));
+  EXPECT_TRUE(r.assignments.empty());
+}
+
+TEST(KMeans, RejectsOversizedNearOperand) {
+  TwoLevelConfig cfg = km_config();
+  cfg.near_capacity = 1 * MiB;
+  Machine m(cfg);
+  const auto pts = make_blobs(1 << 18, 4, 2, 1);  // 8 MiB of doubles
+  EXPECT_THROW(kmeans_near(m, pts, opts(2, 4)), std::invalid_argument);
+}
+
+TEST(KMeans, RejectsMisshapenInput) {
+  Machine m(km_config());
+  std::vector<double> pts(10);  // not divisible by dims=4
+  EXPECT_THROW(kmeans_far(m, pts, opts(2, 4)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tlm::kmeans

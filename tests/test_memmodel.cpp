@@ -1,0 +1,246 @@
+// Tests for the algorithmic model: parameter validation, every theorem
+// bound's shape (monotonicity, ρ-scaling, parallel speedup), and the §V-A
+// memory-boundedness predictor including the paper's worked example.
+#include <gtest/gtest.h>
+
+#include "memmodel/bounds.hpp"
+#include "memmodel/membound.hpp"
+#include "memmodel/params.hpp"
+
+namespace tlm::model {
+namespace {
+
+TEST(Params, TestModelIsValid) {
+  EXPECT_NO_THROW(test_model().validate());
+  EXPECT_NO_THROW(paper_model().validate());
+}
+
+TEST(Params, TallCacheViolationRejected) {
+  ScratchpadModel m = test_model();
+  m.block_b = 1 << 10;  // B^2 = 2^20 > M? M = 256Ki = 2^18 -> violated
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Params, RhoBelowOneRejected) {
+  ScratchpadModel m = test_model();
+  m.rho = 0.5;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Params, ScratchBlockAndSample) {
+  ScratchpadModel m = test_model(4.0);
+  EXPECT_EQ(m.scratch_block(), 32u);
+  EXPECT_EQ(m.sample_m(), m.scratch_m / m.block_b);
+}
+
+TEST(Bounds, Theorem1GoldenValues) {
+  // Hand-computed: N=2^20, Z=2^12, L=2^3 elements.
+  // N/L = 2^17, Z/L = 2^9 -> log_512(131072) = 17/9.
+  EXPECT_NEAR(sort_bound_multiway(1 << 20, 1 << 12, 8),
+              (1 << 17) * (17.0 / 9.0), 1.0);
+  // Clamp: N/L < base -> exactly one pass.
+  EXPECT_DOUBLE_EQ(sort_bound_multiway(1 << 10, 1 << 12, 8), 1 << 7);
+}
+
+TEST(Bounds, Theorem2GoldenValues) {
+  // N=2^20, Z=2^12: lg(N/Z) = 8 passes of N/L = 2^17 transfers.
+  EXPECT_DOUBLE_EQ(sort_bound_mergesort(1 << 20, 1 << 12, 8),
+                   8.0 * (1 << 17));
+}
+
+TEST(Bounds, Theorem6GoldenValues) {
+  // Z=2^12, M=2^18, B=2^3, rho=4 (elements), N=2^24.
+  ScratchpadModel m;
+  m.cache_z = 1 << 12;
+  m.scratch_m = 1 << 18;
+  m.block_b = 8;
+  m.rho = 4.0;
+  m.validate();
+  const SortBound s = scratchpad_sort_bound(m, 1 << 24);
+  // DRAM: (N/B)·log_{M/B}(N/B) = 2^21 · log_{2^15}(2^21) = 2^21·21/15.
+  EXPECT_NEAR(s.dram_transfers, (1 << 21) * (21.0 / 15.0), 1.0);
+  // Scratch: (N/ρB)·log_{Z/ρB}(N/B) = 2^19 · log_{2^7}(2^21) = 2^19·21/7.
+  EXPECT_NEAR(s.scratch_transfers, (1 << 19) * 3.0, 1.0);
+}
+
+TEST(Bounds, Theorem1MoreDataMoreTransfers) {
+  const double a = sort_bound_multiway(1e6, 1e4, 8);
+  const double b = sort_bound_multiway(1e8, 1e4, 8);
+  EXPECT_GT(b, a * 90);  // superlinear in N
+}
+
+TEST(Bounds, Theorem1BiggerBlocksFewerTransfers) {
+  EXPECT_GT(sort_bound_multiway(1e7, 1e4, 8),
+            sort_bound_multiway(1e7, 1e4, 64));
+}
+
+TEST(Bounds, Theorem2MergesortAtLeastMultiway) {
+  // Binary mergesort never beats the Θ-optimal multiway bound (same L).
+  for (double n : {1e6, 1e7, 1e9}) {
+    EXPECT_GE(sort_bound_mergesort(n, 1e4, 8) * 1.0001,
+              sort_bound_multiway(n, 1e4, 8));
+  }
+}
+
+TEST(Bounds, Corollary3RhoDividesScratchTraffic) {
+  ScratchpadModel m2 = test_model(2.0), m8 = test_model(8.0);
+  const double x = 1e5;
+  EXPECT_NEAR(inner_sort_bound_multiway(m2, x) /
+                  inner_sort_bound_multiway(m8, x),
+              4.0, 1e-9);
+}
+
+TEST(Bounds, Corollary3RejectsOversizedOperand) {
+  ScratchpadModel m = test_model();
+  EXPECT_THROW(
+      inner_sort_bound_multiway(m, static_cast<double>(m.scratch_m) * 2),
+      std::invalid_argument);
+}
+
+TEST(Bounds, Lemma4ScanDramTermIsOnePass) {
+  ScratchpadModel m = test_model();
+  const double n = 1e7;
+  const ScanCost c = bucketizing_scan_cost(m, n);
+  EXPECT_DOUBLE_EQ(c.dram_transfers, n / static_cast<double>(m.block_b));
+  EXPECT_GT(c.scratch_transfers, 0.0);
+  EXPECT_GT(c.ram_work, n);
+}
+
+TEST(Bounds, Theorem6SplitsAcrossMemories) {
+  ScratchpadModel m = test_model(4.0);
+  const double n = 64e6;
+  const SortBound s = scratchpad_sort_bound(m, n);
+  EXPECT_GT(s.dram_transfers, 0.0);
+  EXPECT_GT(s.scratch_transfers, 0.0);
+  EXPECT_DOUBLE_EQ(s.total(), s.dram_transfers + s.scratch_transfers);
+}
+
+TEST(Bounds, Theorem6UpperDominatesLowerBound) {
+  for (double rho : {1.0, 2.0, 4.0, 8.0, 32.0}) {
+    ScratchpadModel m = test_model(rho);
+    for (double n : {1e6, 1e7, 1e9}) {
+      const SortBound up = scratchpad_sort_bound(m, n);
+      const SortBound lo = scratchpad_sort_lower_bound(m, n);
+      EXPECT_GE(up.total() * 1.0001, lo.total())
+          << "rho=" << rho << " n=" << n;
+    }
+  }
+}
+
+TEST(Bounds, Corollary7QuicksortNeverBeatsMergesortInner) {
+  for (double rho : {1.0, 4.0, 16.0}) {
+    ScratchpadModel m = test_model(rho);
+    const double n = 1e8;
+    EXPECT_GE(scratchpad_sort_bound_quicksort(m, n).total() * 1.0001,
+              scratchpad_sort_bound(m, n).total());
+  }
+}
+
+TEST(Bounds, Corollary7MinRho) {
+  ScratchpadModel m = test_model();
+  // M/Z = 256Ki/4Ki = 64 -> lg = 6.
+  EXPECT_DOUBLE_EQ(corollary7_min_rho(m), 6.0);
+}
+
+TEST(Bounds, Theorem8PerfectlyParallelizes) {
+  const double serial = pem_sort_bound(1e8, 1, 1e4, 8);
+  const double p16 = pem_sort_bound(1e8, 16, 1e4, 8);
+  EXPECT_NEAR(serial / p16, 16.0, 1e-9);
+}
+
+TEST(Bounds, Theorem10DividesByParallelism) {
+  ScratchpadModel m = test_model();
+  m.parallel_p = 4;
+  const double n = 1e8;
+  const SortBound s1 = scratchpad_sort_bound(m, n);
+  const SortBound sp = parallel_scratchpad_sort_bound(m, n);
+  EXPECT_NEAR(s1.dram_transfers / sp.dram_transfers, 4.0, 1e-9);
+  EXPECT_NEAR(s1.scratch_transfers / sp.scratch_transfers, 4.0, 1e-9);
+}
+
+TEST(Bounds, SpeedupGrowsWithRho) {
+  double prev = 0;
+  for (double rho : {1.0, 2.0, 4.0, 8.0}) {
+    ScratchpadModel m = paper_model(rho);
+    const double s = predicted_speedup(m, 1e9);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+  EXPECT_GT(prev, 1.0);  // at rho=8 the scratchpad must win
+}
+
+// Property sweep: Theorem 6's DRAM term never exceeds the DRAM-only optimum
+// (Theorem 1 at L = B) — the scratchpad cannot make DRAM traffic worse.
+class BoundsSweep : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(BoundsSweep, ScratchpadNeverHurtsDram) {
+  const auto [rho, n] = GetParam();
+  ScratchpadModel m = test_model(rho);
+  const SortBound s = scratchpad_sort_bound(m, n);
+  const double dram_only = sort_bound_multiway(
+      n, static_cast<double>(m.cache_z), static_cast<double>(m.block_b));
+  EXPECT_LE(s.dram_transfers, dram_only * 1.0001);
+}
+
+TEST_P(BoundsSweep, TotalBoundMonotoneInN) {
+  const auto [rho, n] = GetParam();
+  ScratchpadModel m = test_model(rho);
+  EXPECT_LE(scratchpad_sort_bound(m, n).total(),
+            scratchpad_sort_bound(m, n * 2).total());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RhoAndN, BoundsSweep,
+    ::testing::Combine(::testing::Values(1.0, 2.0, 4.0, 8.0, 16.0),
+                       ::testing::Values(1e6, 3e7, 1e9)));
+
+// --- §V-A memory-bound predictor -------------------------------------------
+
+TEST(MemBound, PaperWorkedExample) {
+  // Z ≈ 1e6, x ≈ 1e10, y ≈ 1e9: right at the boundary (ratio ≈ 0.5), which
+  // is the paper's explanation for 256 cores being bound and 128 not.
+  NodeThroughput t{1e10, 1e9, 1e6};
+  const double r = boundedness_ratio(t);
+  EXPECT_GT(r, 0.3);
+  EXPECT_LT(r, 1.0);
+  EXPECT_FALSE(memory_bound(t));
+  // Doubling compute (256 -> 512-core equivalent) tips it over.
+  t.compare_rate = 4e10;
+  EXPECT_TRUE(memory_bound(t));
+}
+
+TEST(MemBound, InstanceSizeCancels) {
+  NodeThroughput t{5e10, 1e9, 1e6};
+  const TimeEstimate small = sort_time_estimate(t, 1e6);
+  const TimeEstimate large = sort_time_estimate(t, 1e9);
+  EXPECT_EQ(small.memory_bound, large.memory_bound);
+}
+
+TEST(MemBound, MinCoresInverts) {
+  const double per_core = 1.7e9;
+  const double y = 1e9;
+  const double z = 1e6;
+  const std::uint64_t c = min_cores_for_memory_bound(per_core, y, z);
+  NodeThroughput below{per_core * (c - 1), y, z};
+  NodeThroughput above{per_core * c, y, z};
+  EXPECT_FALSE(memory_bound(below));
+  EXPECT_TRUE(memory_bound(above));
+}
+
+TEST(MemBound, EstimatePicksLargerSide) {
+  NodeThroughput t{1e12, 1e9, 1e6};  // strongly memory bound
+  const TimeEstimate e = sort_time_estimate(t, 1e8);
+  EXPECT_TRUE(e.memory_bound);
+  EXPECT_DOUBLE_EQ(e.predicted_s, e.memory_s);
+  EXPECT_GT(e.memory_s, e.compute_s);
+}
+
+TEST(MemBound, RejectsDegenerateInput) {
+  EXPECT_THROW(boundedness_ratio(NodeThroughput{0, 1, 4}),
+               std::invalid_argument);
+  EXPECT_THROW(sort_time_estimate(NodeThroughput{1, 1, 4}, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tlm::model

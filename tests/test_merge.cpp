@@ -1,0 +1,231 @@
+// Unit/property tests for the charged merge kernel: merge_runs_charged vs
+// std::merge, value-based partitioning invariants, instrumented binary
+// search equivalence, and splitter sampling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "scratchpad/machine.hpp"
+#include "sort/merge.hpp"
+#include "sort/runs.hpp"
+
+namespace tlm::sort {
+namespace {
+
+TwoLevelConfig cfg2() {
+  TwoLevelConfig c = test_config(4.0);
+  c.near_capacity = 4 * MiB;
+  c.threads = 4;
+  return c;
+}
+
+std::vector<std::vector<std::uint64_t>> make_runs(std::size_t k,
+                                                  std::size_t max_len,
+                                                  std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::vector<std::uint64_t>> runs(k);
+  for (auto& r : runs) {
+    r.resize(rng.below(max_len + 1));
+    for (auto& x : r) x = rng.below(100000);
+    std::sort(r.begin(), r.end());
+  }
+  return runs;
+}
+
+std::vector<Run<std::uint64_t>> as_runs(
+    const std::vector<std::vector<std::uint64_t>>& rs) {
+  std::vector<Run<std::uint64_t>> out;
+  for (const auto& r : rs)
+    out.push_back(Run<std::uint64_t>{r.data(), r.data() + r.size()});
+  return out;
+}
+
+using RunT = Run<std::uint64_t>;
+
+std::vector<std::uint64_t> flat_sorted(
+    const std::vector<std::vector<std::uint64_t>>& rs) {
+  std::vector<std::uint64_t> all;
+  for (const auto& r : rs) all.insert(all.end(), r.begin(), r.end());
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+TEST(MergeRunsCharged, MatchesStdSortAcrossShapes) {
+  Machine m(cfg2());
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const auto runs = make_runs(1 + seed % 7, 500, seed);
+    const auto expect = flat_sorted(runs);
+    std::vector<std::uint64_t> out(expect.size());
+    merge_runs_charged(m, 0, as_runs(runs), out.data());
+    EXPECT_EQ(out, expect) << "seed " << seed;
+  }
+}
+
+TEST(MergeRunsCharged, ChargesReadsAndWritesOnce) {
+  Machine m(cfg2());
+  const auto runs = make_runs(4, 4096, 3);
+  const auto expect = flat_sorted(runs);
+  std::vector<std::uint64_t> out(expect.size());
+  for (const auto& r : runs) m.adopt_far(r.data(), r.size() * 8 + 1);
+  m.adopt_far(out.data(), out.size() * 8);
+  m.begin_phase("merge");
+  merge_runs_charged(m, 0, as_runs(runs), out.data());
+  m.end_phase();
+  const PhaseStats& ph = m.stats().phases.at(0);
+  EXPECT_EQ(ph.far_read_bytes, expect.size() * 8);
+  EXPECT_EQ(ph.far_write_bytes, expect.size() * 8);
+  EXPECT_GT(ph.compute_ops_total, static_cast<double>(expect.size()));
+}
+
+TEST(MergeRunsCharged, EmptyRunsContributeNothing) {
+  Machine m(cfg2());
+  std::vector<std::uint64_t> a{1, 5, 9};
+  std::vector<RunT> rs = {
+      {nullptr, nullptr}, {a.data(), a.data() + 3}, {a.data(), a.data()}};
+  std::vector<std::uint64_t> out(3);
+  merge_runs_charged(m, 0, rs, out.data());
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{1, 5, 9}));
+}
+
+TEST(PartitionMerge, SlicesCoverAndOrder) {
+  Machine m(cfg2());
+  for (std::uint64_t seed = 20; seed < 28; ++seed) {
+    const auto runs = make_runs(5, 2000, seed);
+    const auto rs = as_runs(runs);
+    const std::uint64_t total = total_size(rs);
+    if (total == 0) continue;
+    for (std::size_t parts : {1u, 2u, 4u, 7u}) {
+      const auto part = partition_merge(m, 0, rs, parts);
+      // Offsets are nondecreasing and total size is preserved.
+      std::uint64_t covered = 0;
+      for (std::size_t j = 0; j < parts; ++j) {
+        EXPECT_EQ(part.offset[j], covered);
+        for (const auto& s : part.slice[j]) covered += s.size();
+      }
+      EXPECT_EQ(covered, total);
+      // Value partition: everything in part j <= everything in part j+1.
+      std::uint64_t prev_max = 0;
+      bool have_prev = false;
+      for (std::size_t j = 0; j < parts; ++j) {
+        std::uint64_t mn = ~0ULL, mx = 0;
+        for (const auto& s : part.slice[j])
+          for (const auto* p = s.begin; p != s.end; ++p) {
+            mn = std::min(mn, *p);
+            mx = std::max(mx, *p);
+          }
+        if (part.slice[j].empty()) continue;
+        if (have_prev) {
+          EXPECT_LE(prev_max, mn) << "seed " << seed;
+        }
+        prev_max = mx;
+        have_prev = true;
+      }
+    }
+  }
+}
+
+TEST(ParallelMultiwayMerge, MatchesSequentialAcrossThreadCounts) {
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    TwoLevelConfig c = cfg2();
+    c.threads = threads;
+    Machine m(c);
+    const auto runs = make_runs(6, 3000, 77);
+    const auto expect = flat_sorted(runs);
+    std::vector<std::uint64_t> out(expect.size());
+    MergeOptions opt;
+    opt.min_part_elems = 256;  // force real splitting at this size
+    parallel_multiway_merge(m, as_runs(runs),
+                            std::span<std::uint64_t>(out), std::less<>{},
+                            opt);
+    EXPECT_EQ(out, expect) << "threads " << threads;
+  }
+}
+
+TEST(ParallelMultiwayMerge, HeavyDuplicatesStayCorrect) {
+  Machine m(cfg2());
+  std::vector<std::vector<std::uint64_t>> runs(4);
+  Xoshiro256 rng(5);
+  for (auto& r : runs) {
+    r.resize(2000);
+    for (auto& x : r) x = rng.below(3);  // only 3 distinct values
+    std::sort(r.begin(), r.end());
+  }
+  const auto expect = flat_sorted(runs);
+  std::vector<std::uint64_t> out(expect.size());
+  parallel_multiway_merge(m, as_runs(runs), std::span<std::uint64_t>(out));
+  EXPECT_EQ(out, expect);
+}
+
+TEST(ParallelMultiwayMerge, SizeMismatchThrows) {
+  Machine m(cfg2());
+  std::vector<std::uint64_t> a{1, 2, 3};
+  std::vector<RunT> rs = {{a.data(), a.data() + 3}};
+  std::vector<std::uint64_t> out(2);
+  EXPECT_THROW(
+      parallel_multiway_merge(m, rs, std::span<std::uint64_t>(out)),
+      std::invalid_argument);
+}
+
+TEST(ChargedLowerBound, MatchesStd) {
+  Machine m(cfg2());
+  Xoshiro256 rng(9);
+  std::vector<std::uint64_t> v(1000);
+  for (auto& x : v) x = rng.below(500);
+  std::sort(v.begin(), v.end());
+  for (std::uint64_t q = 0; q <= 500; q += 7) {
+    const auto* got = charged_lower_bound(m, 0, v.data(), v.data() + v.size(),
+                                          q, std::less<>{});
+    const auto want = std::lower_bound(v.begin(), v.end(), q) - v.begin();
+    EXPECT_EQ(got - v.data(), want) << "q=" << q;
+  }
+}
+
+TEST(ChargedGallopLowerBound, MatchesStdFromAnyStart) {
+  Machine m(cfg2());
+  Xoshiro256 rng(11);
+  std::vector<std::uint64_t> v(777);
+  for (auto& x : v) x = rng.below(400);
+  std::sort(v.begin(), v.end());
+  for (std::size_t from : {0u, 1u, 100u, 776u, 777u}) {
+    for (std::uint64_t q : {0ULL, 3ULL, 200ULL, 399ULL, 1000ULL}) {
+      const auto* got = charged_gallop_lower_bound(
+          m, 0, v.data() + from, v.data() + v.size(), q, std::less<>{});
+      const auto want =
+          std::lower_bound(v.begin() + from, v.end(), q) - v.begin();
+      EXPECT_EQ(got - v.data(), want) << "from=" << from << " q=" << q;
+    }
+  }
+}
+
+TEST(SampleSplitters, SortedAndBounded) {
+  Machine m(cfg2());
+  const auto runs = make_runs(4, 1000, 30);
+  const auto rs = as_runs(runs);
+  for (std::size_t parts : {2u, 8u, 32u}) {
+    const auto sp = sample_splitters(m, 0, rs, parts, std::less<>{});
+    EXPECT_EQ(sp.size(), parts - 1);
+    EXPECT_TRUE(std::is_sorted(sp.begin(), sp.end()));
+  }
+  EXPECT_TRUE(sample_splitters(m, 0, rs, 1, std::less<>{}).empty());
+}
+
+TEST(SampleSplitters, BalancedPartsOnUniformData) {
+  Machine m(cfg2());
+  const auto runs = make_runs(8, 4096, 31);
+  const auto rs = as_runs(runs);
+  const std::uint64_t total = total_size(rs);
+  const std::size_t parts = 16;
+  const auto part = partition_merge(m, 0, rs, parts);
+  const double mean = static_cast<double>(total) / parts;
+  for (std::size_t j = 0; j < parts; ++j) {
+    std::uint64_t sz = 0;
+    for (const auto& s : part.slice[j]) sz += s.size();
+    EXPECT_LT(static_cast<double>(sz), mean * 3.0) << "part " << j;
+  }
+}
+
+}  // namespace
+}  // namespace tlm::sort

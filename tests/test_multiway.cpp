@@ -1,0 +1,185 @@
+// Tests for the multiway mergesort building blocks: run planning, balanced
+// formation, merge passes, ping-pong parity, and the full sort across an
+// option grid.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "scratchpad/machine.hpp"
+#include "sort/multiway_sort.hpp"
+
+namespace tlm::sort {
+namespace {
+
+TwoLevelConfig cfg3(std::size_t threads = 4) {
+  TwoLevelConfig c = test_config(4.0);
+  c.near_capacity = 8 * MiB;
+  c.cache_bytes = 64 * KiB;
+  c.threads = threads;
+  return c;
+}
+
+TEST(PlanRuns, DerivesFanFromCache) {
+  Machine m(cfg3());
+  MultiwaySortOptions opt;  // defaults: run 0, fan 0, refill 4 KiB
+  const auto L = detail::plan_runs<std::uint64_t>(m, 1 << 20, opt);
+  // fan = cache / (2 * refill) = 64K / 8K = 8.
+  EXPECT_EQ(L.fan, 8u);
+  // run = cache/8 = 8 KiB = 1024 elements (n/threads is larger here).
+  EXPECT_EQ(L.run_elems, 1024u);
+  EXPECT_EQ(L.nruns, (1u << 20) / 1024);
+  // passes = ceil(log_8(1024)) with 1024 runs.
+  EXPECT_EQ(L.passes, 4u);
+}
+
+TEST(PlanRuns, BalancesRunsAcrossThreads) {
+  Machine m(cfg3(64));
+  MultiwaySortOptions opt;
+  // Small operand: runs shrink so every thread forms at least one.
+  const auto L = detail::plan_runs<std::uint64_t>(m, 32'000, opt);
+  EXPECT_GE(L.nruns, 64u);
+  EXPECT_GE(L.run_elems, 256u);  // but never below the granularity floor
+}
+
+TEST(PlanRuns, ExplicitOverridesWin) {
+  Machine m(cfg3());
+  MultiwaySortOptions opt;
+  opt.run_bytes = 64 * KiB;
+  opt.fan_in = 3;
+  const auto L = detail::plan_runs<std::uint64_t>(m, 1 << 20, opt);
+  EXPECT_EQ(L.fan, 3u);
+  EXPECT_EQ(L.run_elems, 64u * KiB / 8);
+}
+
+TEST(PlanRuns, SinglePassWhenFanCoversRuns) {
+  Machine m(cfg3());
+  MultiwaySortOptions opt;
+  opt.fan_in = 64;
+  opt.run_bytes = 64 * KiB;
+  const auto L = detail::plan_runs<std::uint64_t>(m, 1 << 19, opt);
+  EXPECT_LE(L.nruns, 64u);
+  EXPECT_EQ(L.passes, 1u);
+}
+
+TEST(FormRuns, EachRunSortedAndDataPreserved) {
+  Machine m(cfg3());
+  const std::size_t n = 100'000;
+  auto src = random_keys(n, 31);
+  std::vector<std::uint64_t> dst(n);
+  MultiwaySortOptions opt;
+  const auto L = detail::plan_runs<std::uint64_t>(m, n, opt);
+  detail::form_runs(m, src.data(), dst.data(), n, L, opt, std::less<>{});
+  for (std::uint64_t r = 0; r < L.nruns; ++r) {
+    const std::uint64_t b = r * L.run_elems;
+    const std::uint64_t e = std::min<std::uint64_t>(b + L.run_elems, n);
+    EXPECT_TRUE(std::is_sorted(dst.begin() + b, dst.begin() + e))
+        << "run " << r;
+  }
+  auto a = src, b = dst;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(MergePass, HalvesRunCountByFan) {
+  Machine m(cfg3());
+  const std::size_t n = 64'000;
+  auto data = random_keys(n, 32);
+  std::vector<std::uint64_t> tmp(n);
+  MultiwaySortOptions opt;
+  opt.fan_in = 4;
+  opt.run_bytes = 8 * KiB;  // 1024-element runs
+  const auto L = detail::plan_runs<std::uint64_t>(m, n, opt);
+  detail::form_runs(m, data.data(), data.data(), n, L, opt, std::less<>{});
+  const std::uint64_t next = detail::merge_pass(
+      m, data.data(), tmp.data(), n, L.run_elems, L.nruns, L.fan, opt.merge,
+      std::less<std::uint64_t>{});
+  EXPECT_EQ(next, (L.nruns + 3) / 4);
+  // Every merged group is sorted.
+  const std::uint64_t group_len = L.run_elems * 4;
+  for (std::uint64_t g = 0; g < next; ++g) {
+    const std::uint64_t b = g * group_len;
+    const std::uint64_t e = std::min<std::uint64_t>(b + group_len, n);
+    EXPECT_TRUE(std::is_sorted(tmp.begin() + b, tmp.begin() + e))
+        << "group " << g;
+  }
+}
+
+TEST(MultiwaySort, OptionGridAllSortCorrectly) {
+  const std::size_t n = 150'000;
+  const auto base = random_keys(n, 33);
+  auto expect = base;
+  std::sort(expect.begin(), expect.end());
+  for (std::uint64_t run : {2 * KiB, 32 * KiB}) {
+    for (std::size_t fan : {2u, 5u, 32u}) {
+      for (std::size_t threads : {1u, 4u}) {
+        Machine m(cfg3(threads));
+        auto v = base;
+        m.adopt_far(v.data(), v.size() * 8);
+        MultiwaySortOptions opt;
+        opt.run_bytes = run;
+        opt.fan_in = fan;
+        multiway_merge_sort(m, std::span<std::uint64_t>(v), opt);
+        EXPECT_EQ(v, expect)
+            << "run=" << run << " fan=" << fan << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(MultiwaySort, WorksInNearSpaceToo) {
+  Machine m(cfg3());
+  const std::size_t n = 200'000;
+  auto keys = random_keys(n, 34);
+  auto near = m.alloc_array<std::uint64_t>(Space::Near, n);
+  std::copy(keys.begin(), keys.end(), near.begin());
+  m.begin_phase("near-sort");
+  multiway_merge_sort(m, near);
+  m.end_phase();
+  EXPECT_TRUE(std::is_sorted(near.begin(), near.end()));
+  const auto& ph = m.stats().phases.at(0);
+  EXPECT_EQ(ph.far_bytes(), 0u);  // everything stayed in the scratchpad
+  EXPECT_GT(ph.near_bytes(), n * 8 * 2);
+  m.free_array(Space::Near, near);
+}
+
+TEST(MultiwaySort, PingPongAlwaysLandsInPlace) {
+  // Sweep sizes that produce 1..5 merge passes; the result must always end
+  // up in the caller's buffer (the parity logic).
+  for (std::uint64_t n : {300ULL, 5'000ULL, 40'000ULL, 300'000ULL,
+                          900'000ULL}) {
+    Machine m(cfg3());
+    MultiwaySortOptions opt;
+    opt.fan_in = 2;  // maximize pass count
+    opt.run_bytes = 2 * KiB;
+    auto v = random_keys(static_cast<std::size_t>(n), n);
+    auto expect = v;
+    std::sort(expect.begin(), expect.end());
+    m.adopt_far(v.data(), v.size() * 8);
+    multiway_merge_sort(m, std::span<std::uint64_t>(v), opt);
+    EXPECT_EQ(v, expect) << "n=" << n;
+  }
+}
+
+TEST(MultiwaySort, ComputeChargeScalesNLogN) {
+  auto ops_for = [&](std::size_t n) {
+    Machine m(cfg3());
+    auto v = random_keys(n, 35);
+    m.adopt_far(v.data(), v.size() * 8);
+    m.begin_phase("s");
+    multiway_merge_sort(m, std::span<std::uint64_t>(v));
+    m.end_phase();
+    return m.stats().total.compute_ops_total;
+  };
+  const double small = ops_for(50'000);
+  const double large = ops_for(400'000);
+  const double ratio = large / small;
+  EXPECT_GT(ratio, 8.0);    // superlinear
+  EXPECT_LT(ratio, 8.0 * 2.2);  // but only by log factors
+}
+
+}  // namespace
+}  // namespace tlm::sort

@@ -1,0 +1,267 @@
+// Tests for the two-level memory runtime: the near arena allocator, the
+// Machine's space resolution, traffic accounting, time model, phases, and
+// trace virtual addressing.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "scratchpad/arena.hpp"
+#include "scratchpad/machine.hpp"
+
+namespace tlm {
+namespace {
+
+TEST(NearArena, AllocateFreeReuse) {
+  NearArena a(4096);
+  std::byte* p1 = a.allocate(1000);
+  std::byte* p2 = a.allocate(1000);
+  EXPECT_NE(p1, p2);
+  EXPECT_EQ(a.used(), 2000u);
+  a.deallocate(p1);
+  EXPECT_EQ(a.used(), 1000u);
+  std::byte* p3 = a.allocate(900);
+  EXPECT_EQ(p3, p1);  // first-fit reuses the freed block
+  a.deallocate(p2);
+  a.deallocate(p3);
+  EXPECT_EQ(a.used(), 0u);
+  EXPECT_EQ(a.high_water(), 2000u);
+}
+
+TEST(NearArena, CapacityIsHard) {
+  NearArena a(4096);
+  (void)a.allocate(4096);
+  EXPECT_THROW(a.allocate(1), std::bad_alloc);
+}
+
+TEST(NearArena, CoalescingAllowsFullReallocation) {
+  NearArena a(4096);
+  std::byte* p1 = a.allocate(1024);
+  std::byte* p2 = a.allocate(1024);
+  std::byte* p3 = a.allocate(2048);
+  a.deallocate(p2);
+  a.deallocate(p1);  // backward coalesce
+  a.deallocate(p3);  // forward coalesce
+  EXPECT_NO_THROW(a.allocate(4096));  // single free block again
+}
+
+TEST(NearArena, AlignmentRespected) {
+  NearArena a(8192);
+  (void)a.allocate(3);  // misalign the cursor
+  std::byte* p = a.allocate(64, 512);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 512, 0u);
+}
+
+TEST(NearArena, DoubleFreeDetected) {
+  NearArena a(4096);
+  std::byte* p = a.allocate(64);
+  a.deallocate(p);
+  EXPECT_THROW(a.deallocate(p), std::invalid_argument);
+}
+
+TEST(NearArena, ForeignPointerRejected) {
+  NearArena a(4096);
+  int x = 0;
+  EXPECT_THROW(a.deallocate(reinterpret_cast<std::byte*>(&x)),
+               std::invalid_argument);
+}
+
+// --- Machine ---------------------------------------------------------------
+
+TwoLevelConfig cfg1() {
+  TwoLevelConfig c = test_config(4.0);
+  c.near_capacity = 1 * MiB;
+  c.threads = 2;
+  return c;
+}
+
+TEST(Machine, SpaceResolution) {
+  Machine m(cfg1());
+  auto near = m.alloc_array<std::uint64_t>(Space::Near, 128);
+  auto far = m.alloc_array<std::uint64_t>(Space::Far, 128);
+  EXPECT_EQ(m.space_of(near.data()), Space::Near);
+  EXPECT_EQ(m.space_of(far.data()), Space::Far);
+  m.free_array(Space::Near, near);
+  m.free_array(Space::Far, far);
+}
+
+TEST(Machine, CopyMovesBytesAndCharges) {
+  Machine m(cfg1());
+  auto near = m.alloc_array<std::uint64_t>(Space::Near, 1024);
+  auto far = m.alloc_array<std::uint64_t>(Space::Far, 1024);
+  for (std::size_t i = 0; i < far.size(); ++i) far[i] = i * 3;
+
+  m.begin_phase("load");
+  m.copy(0, near.data(), far.data(), far.size_bytes());
+  m.end_phase();
+
+  EXPECT_TRUE(std::equal(near.begin(), near.end(), far.begin()));
+  const MachineStats st = m.stats();
+  ASSERT_EQ(st.phases.size(), 1u);
+  const PhaseStats& ph = st.phases[0];
+  EXPECT_EQ(ph.far_read_bytes, 8192u);
+  EXPECT_EQ(ph.near_write_bytes, 8192u);
+  EXPECT_EQ(ph.far_blocks, 8192u / 64);
+  // Near blocks are ρB = 256 bytes.
+  EXPECT_EQ(ph.near_blocks, 8192u / 256);
+  EXPECT_EQ(ph.far_bursts, 1u);
+  EXPECT_EQ(ph.near_bursts, 1u);
+}
+
+TEST(Machine, TimeModelSerializedVsOverlap) {
+  TwoLevelConfig c = cfg1();
+  c.overlap_dma = false;
+  Machine serial(c);
+  c.overlap_dma = true;
+  Machine overlap(c);
+
+  for (Machine* m : {&serial, &overlap}) {
+    auto far = m->alloc_array<std::uint64_t>(Space::Far, 1 << 16);
+    auto near = m->alloc_array<std::uint64_t>(Space::Near, 1 << 16);
+    m->begin_phase("p");
+    m->copy(0, near.data(), far.data(), far.size_bytes());
+    m->compute(0, 1e6);
+    m->end_phase();
+  }
+  const double ts = serial.elapsed_seconds();
+  const double to = overlap.elapsed_seconds();
+  EXPECT_GT(ts, to);  // overlap can only help
+  const PhaseStats& ph = serial.stats().phases[0];
+  EXPECT_NEAR(ph.seconds, ph.far_s + ph.near_s + ph.compute_s, 1e-15);
+  const PhaseStats& po = overlap.stats().phases[0];
+  EXPECT_NEAR(po.seconds, std::max({po.far_s, po.near_s, po.compute_s}),
+              1e-15);
+}
+
+TEST(Machine, ComputeUsesPerThreadMax) {
+  Machine m(cfg1());  // 2 threads
+  m.begin_phase("p");
+  m.compute(0, 1000.0);
+  m.compute(1, 4000.0);
+  m.end_phase();
+  const PhaseStats& ph = m.stats().phases[0];
+  EXPECT_DOUBLE_EQ(ph.compute_ops_total, 5000.0);
+  EXPECT_DOUBLE_EQ(ph.compute_ops_max, 4000.0);
+  EXPECT_NEAR(ph.compute_s, 4000.0 / m.config().core_rate, 1e-18);
+}
+
+TEST(Machine, PhasesAutoCloseOnBegin) {
+  Machine m(cfg1());
+  m.begin_phase("a");
+  m.compute(0, 10.0);
+  m.begin_phase("b");  // closes "a"
+  m.compute(0, 20.0);
+  m.end_phase();
+  const MachineStats st = m.stats();
+  ASSERT_EQ(st.phases.size(), 2u);
+  EXPECT_EQ(st.phases[0].name, "a");
+  EXPECT_EQ(st.phases[1].name, "b");
+  EXPECT_DOUBLE_EQ(st.total.compute_ops_total, 30.0);
+}
+
+TEST(Machine, OpenPhaseVisibleInStats) {
+  Machine m(cfg1());
+  m.begin_phase("open");
+  m.compute(0, 7.0);
+  const MachineStats st = m.stats();  // no end_phase
+  ASSERT_EQ(st.phases.size(), 1u);
+  EXPECT_DOUBLE_EQ(st.total.compute_ops_total, 7.0);
+}
+
+TEST(Machine, VaddrMapsSpacesToDisjointRegions) {
+  Machine m(cfg1());
+  auto near = m.alloc_array<std::uint64_t>(Space::Near, 16);
+  auto far = m.alloc_array<std::uint64_t>(Space::Far, 16);
+  EXPECT_TRUE(trace::is_near_addr(m.vaddr_of(near.data())));
+  EXPECT_FALSE(trace::is_near_addr(m.vaddr_of(far.data())));
+  // Interior pointers offset linearly.
+  EXPECT_EQ(m.vaddr_of(far.data() + 3), m.vaddr_of(far.data()) + 24);
+  EXPECT_EQ(m.vaddr_of(near.data() + 5), m.vaddr_of(near.data()) + 40);
+}
+
+TEST(Machine, AdoptedRegionGetsStableVaddr) {
+  Machine m(cfg1());
+  std::vector<std::uint64_t> ext(64);
+  m.adopt_far(ext.data(), ext.size() * 8);
+  const std::uint64_t v = m.vaddr_of(ext.data());
+  m.adopt_far(ext.data(), ext.size() * 8);  // idempotent
+  EXPECT_EQ(m.vaddr_of(ext.data()), v);
+}
+
+TEST(Machine, UnknownFarPointerThrowsOnVaddr) {
+  Machine m(cfg1());
+  int x = 0;
+  EXPECT_THROW(m.vaddr_of(&x), std::invalid_argument);
+}
+
+TEST(Machine, NearCapacityEnforced) {
+  Machine m(cfg1());  // 1 MiB near
+  EXPECT_THROW(m.alloc_array<std::uint64_t>(Space::Near, 1 << 20),
+               std::bad_alloc);
+}
+
+TEST(Machine, SyncFromAllThreadsAdvancesEpoch) {
+  Machine m(cfg1());
+  m.run_spmd([&](std::size_t w) {
+    m.sync(w);
+    m.sync(w);
+  });
+  SUCCEED();  // no deadlock, no throw
+}
+
+TEST(Machine, ConcurrentChargesConserveTotals) {
+  // All workers hammer the accounting concurrently; the folded phase must
+  // see exactly the sum of what was charged (per-thread accumulators, no
+  // lost updates).
+  TwoLevelConfig c = cfg1();
+  c.threads = 8;
+  Machine m(c);
+  auto far = m.alloc_array<std::uint64_t>(Space::Far, 8 * 1024);
+  m.begin_phase("stress");
+  constexpr int kIters = 2000;
+  m.run_spmd([&](std::size_t w) {
+    auto slice = far.subspan(w * 1024, 1024);
+    for (int i = 0; i < kIters; ++i) {
+      m.stream_read(w, slice.data(), 64);
+      m.stream_write(w, slice.data(), 32);
+      m.compute(w, 1.5);
+    }
+  });
+  m.end_phase();
+  const PhaseStats& ph = m.stats().phases.at(0);
+  EXPECT_EQ(ph.far_read_bytes, 8ull * kIters * 64);
+  EXPECT_EQ(ph.far_write_bytes, 8ull * kIters * 32);
+  EXPECT_EQ(ph.far_bursts, 8ull * kIters * 2);
+  EXPECT_DOUBLE_EQ(ph.compute_ops_total, 8.0 * kIters * 1.5);
+  EXPECT_DOUBLE_EQ(ph.compute_ops_max, kIters * 1.5);
+}
+
+TEST(Machine, ThreadOpsExposesPerWorkerLoad) {
+  TwoLevelConfig c = cfg1();
+  c.threads = 3;
+  Machine m(c);
+  m.run_spmd([&](std::size_t w) { m.compute(w, 10.0 * (w + 1)); });
+  const auto ops = m.thread_ops();
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_DOUBLE_EQ(ops[0], 10.0);
+  EXPECT_DOUBLE_EQ(ops[1], 20.0);
+  EXPECT_DOUBLE_EQ(ops[2], 30.0);
+}
+
+TEST(Machine, StreamChargesWithoutMoving) {
+  Machine m(cfg1());
+  auto far = m.alloc_array<std::uint64_t>(Space::Far, 256);
+  far[0] = 42;
+  m.begin_phase("s");
+  m.stream_read(0, far.data(), far.size_bytes());
+  m.stream_write(0, far.data(), far.size_bytes());
+  m.end_phase();
+  EXPECT_EQ(far[0], 42u);
+  const PhaseStats& ph = m.stats().phases[0];
+  EXPECT_EQ(ph.far_read_bytes, 2048u);
+  EXPECT_EQ(ph.far_write_bytes, 2048u);
+}
+
+}  // namespace
+}  // namespace tlm

@@ -1,0 +1,443 @@
+// Unit tests for the discrete-event simulator: event ordering, cache
+// behaviour, memory timing, NoC routing/contention, trace cores, barriers,
+// and a small end-to-end system replay.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/core.hpp"
+#include "sim/memory.hpp"
+#include "sim/noc.hpp"
+#include "sim/simulator.hpp"
+#include "sim/system.hpp"
+#include "trace/capture.hpp"
+
+namespace tlm::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, TiesBreakByInsertion) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(5, [&] { order.push_back(1); });
+  sim.schedule(5, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, NestedSchedulingAdvancesTime) {
+  Simulator sim;
+  SimTime inner_time = 0;
+  sim.schedule(10, [&] {
+    sim.schedule(15, [&] { inner_time = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner_time, 25u);
+}
+
+TEST(Simulator, MaxEventsGuardStops) {
+  Simulator sim;
+  // Self-perpetuating event chain.
+  std::function<void()> tick = [&] { sim.schedule(1, tick); };
+  sim.schedule(0, tick);
+  EXPECT_EQ(sim.run(100), 100u);
+  EXPECT_FALSE(sim.idle());
+}
+
+// --- helpers ---------------------------------------------------------------
+
+// Downstream sink that records requests and answers reads after a delay.
+class RecordingMemory final : public MemPort {
+ public:
+  RecordingMemory(Simulator& sim, SimTime delay) : sim_(sim), delay_(delay) {}
+  void request(const MemReq& req) override {
+    log.push_back(req);
+    if (!req.posted && req.origin) {
+      const MemReq resp = req;
+      sim_.schedule(delay_, [resp] { resp.origin->on_response(resp); });
+    }
+  }
+  std::vector<MemReq> log;
+
+ private:
+  Simulator& sim_;
+  SimTime delay_;
+};
+
+class CountingRequester final : public Requester {
+ public:
+  void on_response(const MemReq& req) override {
+    ++responses;
+    last = req;
+  }
+  int responses = 0;
+  MemReq last;
+};
+
+CacheConfig tiny_cache() {
+  CacheConfig c;
+  c.size_bytes = 1024;  // 8 sets x 2 ways x 64B
+  c.ways = 2;
+  c.latency = 1 * kNanosecond;
+  return c;
+}
+
+MemReq read_req(std::uint64_t addr, Requester* who) {
+  MemReq r;
+  r.addr = addr;
+  r.bytes = 64;
+  r.origin = who;
+  return r;
+}
+
+MemReq write_req(std::uint64_t addr, Requester* who) {
+  MemReq r = read_req(addr, who);
+  r.is_write = true;
+  return r;
+}
+
+// --- cache -----------------------------------------------------------------
+
+TEST(Cache, MissThenHit) {
+  Simulator sim;
+  RecordingMemory mem(sim, 10 * kNanosecond);
+  Cache cache(sim, tiny_cache(), &mem);
+  CountingRequester who;
+
+  cache.request(read_req(0x1000, &who));
+  sim.run();
+  EXPECT_EQ(who.responses, 1);
+  EXPECT_EQ(mem.log.size(), 1u);  // one fill
+
+  cache.request(read_req(0x1000, &who));
+  sim.run();
+  EXPECT_EQ(who.responses, 2);
+  EXPECT_EQ(mem.log.size(), 1u);  // served from cache
+  EXPECT_EQ(cache.stats().read_hits, 1u);
+  EXPECT_EQ(cache.stats().fills, 1u);
+}
+
+TEST(Cache, MshrMergesConcurrentMisses) {
+  Simulator sim;
+  RecordingMemory mem(sim, 50 * kNanosecond);
+  Cache cache(sim, tiny_cache(), &mem);
+  CountingRequester a, b;
+  cache.request(read_req(0x2000, &a));
+  cache.request(read_req(0x2000, &b));
+  sim.run();
+  EXPECT_EQ(a.responses, 1);
+  EXPECT_EQ(b.responses, 1);
+  EXPECT_EQ(mem.log.size(), 1u);  // merged into one fill
+}
+
+TEST(Cache, FullLineStoreInstallsWithoutFill) {
+  Simulator sim;
+  RecordingMemory mem(sim, 10 * kNanosecond);
+  Cache cache(sim, tiny_cache(), &mem);
+  CountingRequester who;
+  cache.request(write_req(0x3000, &who));
+  sim.run();
+  EXPECT_EQ(who.responses, 1);    // store acked by the cache
+  EXPECT_TRUE(mem.log.empty());   // no fill read, no writeback yet
+
+  // Reading the line back hits.
+  cache.request(read_req(0x3000, &who));
+  sim.run();
+  EXPECT_EQ(cache.stats().read_hits, 1u);
+}
+
+TEST(Cache, DirtyEvictionWritesBack) {
+  Simulator sim;
+  RecordingMemory mem(sim, 1 * kNanosecond);
+  Cache cache(sim, tiny_cache(), &mem);  // 8 sets, 2 ways
+  CountingRequester who;
+  // Three lines mapping to the same set (stride = sets * line = 512B).
+  cache.request(write_req(0x0000, &who));
+  cache.request(write_req(0x0200, &who));
+  cache.request(write_req(0x0400, &who));  // evicts dirty 0x0000
+  sim.run();
+  ASSERT_EQ(mem.log.size(), 1u);
+  EXPECT_TRUE(mem.log[0].is_write);
+  EXPECT_TRUE(mem.log[0].posted);
+  EXPECT_EQ(mem.log[0].addr, 0x0000u);
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, LruPrefersColdestWay) {
+  Simulator sim;
+  RecordingMemory mem(sim, 1 * kNanosecond);
+  Cache cache(sim, tiny_cache(), &mem);
+  CountingRequester who;
+  // Drain the pipeline between accesses so recency is well-defined.
+  auto access = [&](std::uint64_t addr) {
+    cache.request(read_req(addr, &who));
+    sim.run();
+  };
+  access(0x0000);  // way A
+  access(0x0200);  // way B
+  access(0x0000);  // touch A again
+  access(0x0400);  // should evict B
+  access(0x0000);  // A must still hit
+  EXPECT_EQ(cache.stats().read_hits, 2u);
+  EXPECT_EQ(cache.stats().fills, 3u);
+}
+
+// --- memories ----------------------------------------------------------------
+
+TEST(FarMemory, RowBufferHitIsFasterThanMiss) {
+  Simulator sim;
+  FarMemConfig cfg;
+  cfg.channels = 1;
+  cfg.banks = 1;
+  FarMemory mem(sim, cfg);
+  CountingRequester who;
+
+  mem.request(read_req(0, &who));
+  sim.run();
+  const double first = to_seconds(sim.now());
+
+  Simulator sim2;
+  FarMemory mem2(sim2, cfg);
+  mem2.request(read_req(0, &who));
+  sim2.run();
+  const SimTime after_first = sim2.now();
+  mem2.request(read_req(64, &who));  // same row: hit
+  sim2.run();
+  const double hit_delta = to_seconds(sim2.now() - after_first);
+  EXPECT_LT(hit_delta, first);  // row hit cheaper than the cold miss
+  EXPECT_EQ(mem2.stats().row_hits, 1u);
+  EXPECT_EQ(mem2.stats().row_misses, 1u);
+}
+
+TEST(FarMemory, ChannelsServeInParallel) {
+  FarMemConfig cfg;
+  cfg.channels = 1;
+  CountingRequester who;
+
+  auto run_streams = [&](std::uint32_t channels, int lines) {
+    Simulator sim;
+    FarMemConfig c = cfg;
+    c.channels = channels;
+    FarMemory mem(sim, c);
+    for (int i = 0; i < lines; ++i)
+      mem.request(read_req(static_cast<std::uint64_t>(i) * 64, &who));
+    sim.run();
+    return to_seconds(sim.now());
+  };
+  const double one = run_streams(1, 64);
+  const double four = run_streams(4, 64);
+  EXPECT_LT(four, one * 0.5);  // 4 channels markedly faster than 1
+}
+
+TEST(NearMemory, AggregateBandwidthBoundsStreamTime) {
+  Simulator sim;
+  NearMemConfig cfg;
+  cfg.channels = 8;
+  cfg.total_bw = 120e9;
+  NearMemory mem(sim, cfg);
+  CountingRequester who;
+  const int lines = 4096;
+  for (int i = 0; i < lines; ++i)
+    mem.request(read_req(static_cast<std::uint64_t>(i) * 64, &who));
+  sim.run();
+  const double bytes = lines * 64.0;
+  const double floor_s = bytes / cfg.total_bw;
+  const double t = to_seconds(sim.now());
+  EXPECT_GE(t, floor_s * 0.99);
+  EXPECT_LE(t, floor_s * 1.5 + 100e-9);  // near the bandwidth bound
+  EXPECT_EQ(mem.stats().reads, static_cast<std::uint64_t>(lines));
+}
+
+// --- NoC ---------------------------------------------------------------------
+
+TEST(Crossbar, RoutesByAddressAndWrapsResponses) {
+  Simulator sim;
+  Crossbar xbar(sim, NocConfig{});
+  RecordingMemory far_mem(sim, 5 * kNanosecond);
+  RecordingMemory near_mem(sim, 5 * kNanosecond);
+  const std::size_t src = xbar.add_endpoint("l2", 72e9);
+  const std::size_t fep = xbar.add_endpoint("far", 144e9);
+  const std::size_t nep = xbar.add_endpoint("near", 144e9);
+  xbar.add_route(trace::kFarBase, trace::kNearBase, fep, &far_mem);
+  xbar.add_route(trace::kNearBase, ~0ULL, nep, &near_mem);
+
+  CountingRequester who;
+  xbar.port(src)->request(read_req(trace::kFarBase + 0x40, &who));
+  xbar.port(src)->request(read_req(trace::kNearBase + 0x40, &who));
+  sim.run();
+  EXPECT_EQ(far_mem.log.size(), 1u);
+  EXPECT_EQ(near_mem.log.size(), 1u);
+  EXPECT_EQ(who.responses, 2);
+  // The response is the original request, untranslated.
+  EXPECT_EQ(who.last.origin, &who);
+}
+
+TEST(Crossbar, PortBandwidthSerializesTraffic) {
+  CountingRequester who;
+  auto stream_time = [&](double bw) {
+    Simulator sim;
+    Crossbar xbar(sim, NocConfig{});
+    RecordingMemory mem(sim, 0);
+    const std::size_t src = xbar.add_endpoint("l2", bw);
+    const std::size_t dst = xbar.add_endpoint("mem", bw);
+    xbar.add_route(0, ~0ULL, dst, &mem);
+    for (int i = 0; i < 256; ++i) {
+      MemReq w = write_req(static_cast<std::uint64_t>(i) * 64, &who);
+      w.posted = true;
+      w.origin = nullptr;
+      xbar.port(src)->request(w);
+    }
+    sim.run();
+    return to_seconds(sim.now());
+  };
+  const double fast = stream_time(100e9);
+  const double slow = stream_time(10e9);
+  EXPECT_GT(slow, fast * 5.0);
+}
+
+TEST(Crossbar, UnroutableAddressThrows) {
+  Simulator sim;
+  Crossbar xbar(sim, NocConfig{});
+  const std::size_t src = xbar.add_endpoint("l2", 72e9);
+  CountingRequester who;
+  EXPECT_THROW(xbar.port(src)->request(read_req(0xdead, &who)),
+               std::invalid_argument);
+}
+
+// --- cores & barriers ----------------------------------------------------------
+
+TEST(BarrierController, ReleasesWhenAllArrive) {
+  Simulator sim;
+  BarrierController barrier(3);
+  int released = 0;
+  barrier.arrive(sim, 0, [&] { ++released; });
+  barrier.arrive(sim, 0, [&] { ++released; });
+  sim.run();
+  EXPECT_EQ(released, 0);
+  barrier.arrive(sim, 0, [&] { ++released; });
+  sim.run();
+  EXPECT_EQ(released, 3);
+  EXPECT_EQ(barrier.epoch(), 1u);
+}
+
+TEST(BarrierController, StaleEpochThrows) {
+  Simulator sim;
+  BarrierController barrier(1);
+  barrier.arrive(sim, 0, [] {});
+  sim.run();
+  EXPECT_THROW(barrier.arrive(sim, 0, [] {}), std::invalid_argument);
+}
+
+TEST(TraceCore, ReplaysComputeAndMemoryOps) {
+  Simulator sim;
+  RecordingMemory mem(sim, 10 * kNanosecond);
+  Cache l1(sim, tiny_cache(), &mem);
+  BarrierController barrier(1);
+
+  std::vector<trace::TraceOp> stream;
+  stream.push_back({trace::OpKind::Compute, 0, 0, 1700.0});  // 1 us at 1.7GHz
+  stream.push_back({trace::OpKind::Read, 0x10000, 256, 0});  // 4 lines
+  stream.push_back({trace::OpKind::Barrier, 0, 0, 0});
+  stream.push_back({trace::OpKind::Write, 0x20000, 128, 0});  // 2 lines
+
+  CoreConfig cc;
+  TraceCore core(sim, cc, 0, &stream, &l1, &barrier);
+  core.start();
+  sim.run();
+
+  EXPECT_TRUE(core.finished());
+  EXPECT_EQ(core.stats().loads, 4u);
+  EXPECT_EQ(core.stats().stores, 2u);
+  EXPECT_EQ(core.stats().barriers, 1u);
+  EXPECT_DOUBLE_EQ(core.stats().compute_ops, 1700.0);
+  EXPECT_GE(to_seconds(sim.now()), 1e-6);  // at least the compute segment
+}
+
+TEST(TraceCore, OutstandingLimitThrottlesIssue) {
+  // With max_outstanding=1 and a slow memory, 8 lines take ~8 memory trips.
+  std::vector<trace::TraceOp> stream = {
+      {trace::OpKind::Read, 0x10000, 512, 0}};
+  auto run_with = [&](std::uint32_t outstanding) {
+    Simulator sim;
+    RecordingMemory mem(sim, 100 * kNanosecond);
+    Cache l1(sim, tiny_cache(), &mem);
+    BarrierController barrier(1);
+    CoreConfig cc;
+    cc.max_outstanding = outstanding;
+    TraceCore core(sim, cc, 0, &stream, &l1, &barrier);
+    core.start();
+    sim.run();
+    return to_seconds(sim.now());
+  };
+  EXPECT_GT(run_with(1), run_with(8) * 3.0);
+}
+
+// --- end-to-end system ---------------------------------------------------------
+
+TEST(System, ReplaysHandWrittenTraceOnFullTopology) {
+  trace::TraceBuffer trace(8);
+  constexpr std::uint64_t kBytes = 512 * 1024;  // >> L2, forces writebacks
+  for (std::size_t t = 0; t < 8; ++t) {
+    // Every core streams 512 KiB from far, computes, barriers, writes
+    // 512 KiB to near.
+    trace.on_read(t, trace::kFarBase + t * kBytes, kBytes);
+    trace.on_compute(t, 10000.0);
+    trace.on_barrier(t, 0);
+    trace.on_write(t, trace::kNearBase + t * kBytes, kBytes);
+  }
+  sim::SystemConfig cfg = sim::SystemConfig::scaled(4.0, 8);
+  System sys(cfg, trace);
+  const SimReport r = sys.run();
+
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_EQ(r.core_loads, 8u * kBytes / 64);
+  EXPECT_EQ(r.core_stores, 8u * kBytes / 64);
+  EXPECT_EQ(r.barrier_epochs, 1u);
+  // Streaming reads miss everywhere: every line reaches the far memory.
+  EXPECT_EQ(r.far.reads, 8u * kBytes / 64);
+  // Near writes land as writebacks of dirty lines; they drain by the end.
+  EXPECT_GT(r.near.writes, 0u);
+  const auto inv = sys.inventory();
+  EXPECT_EQ(inv.cores, 8u);
+  EXPECT_EQ(inv.l1s, 8u);
+  EXPECT_EQ(inv.l2s, 2u);
+}
+
+TEST(System, TraceThreadMismatchThrows) {
+  trace::TraceBuffer trace(3);
+  sim::SystemConfig cfg = sim::SystemConfig::scaled(2.0, 8);
+  EXPECT_THROW(System(cfg, trace), std::invalid_argument);
+}
+
+TEST(System, HigherScratchpadBandwidthShortensNearBoundRuns) {
+  auto near_stream_seconds = [&](double rho) {
+    trace::TraceBuffer trace(8);
+    for (std::size_t t = 0; t < 8; ++t) {
+      trace.on_read(t, trace::kNearBase + t * (1 << 20), 1 << 20);
+      trace.on_barrier(t, 0);
+    }
+    sim::SystemConfig cfg = sim::SystemConfig::scaled(rho, 8);
+    // Enough memory-level parallelism to stay bandwidth-bound rather than
+    // latency-bound (the scaled node has very low per-core bandwidth).
+    cfg.core.max_outstanding = 64;
+    System sys(cfg, trace);
+    return sys.run().seconds;
+  };
+  const double t2 = near_stream_seconds(2.0);
+  const double t8 = near_stream_seconds(8.0);
+  EXPECT_GT(t2, t8 * 1.8);  // 4x the bandwidth shows through
+}
+
+}  // namespace
+}  // namespace tlm::sim
