@@ -1,0 +1,49 @@
+// Custom main() for the google-benchmark micros: translates the repo-wide
+// `--json <path>` / `--json=<path>` convention into google-benchmark's own
+// JSON reporter flags, so `micro_*_gbench --json BENCH_micro.json` emits a
+// machine-readable artifact exactly like the table/figure benches do.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace tlm::bench {
+
+inline int gbench_main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  // Owned storage for the injected flags (Initialize keeps the pointers).
+  std::string out_flag, fmt_flag;
+  if (!json_path.empty()) {
+    out_flag = "--benchmark_out=" + json_path;
+    fmt_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace tlm::bench
+
+#define TLM_GBENCH_MAIN()                                   \
+  int main(int argc, char** argv) {                         \
+    return tlm::bench::gbench_main(argc, argv);             \
+  }

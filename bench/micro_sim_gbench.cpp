@@ -4,6 +4,7 @@
 // study this SST-substitute can sustain.
 #include <benchmark/benchmark.h>
 
+#include "gbench_main.hpp"
 #include "sim/cache.hpp"
 #include "sim/simulator.hpp"
 #include "sim/system.hpp"
@@ -88,4 +89,4 @@ BENCHMARK(BM_FullNodeLinesPerSecond);
 }  // namespace
 }  // namespace tlm::sim
 
-BENCHMARK_MAIN();
+TLM_GBENCH_MAIN();

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "gbench_main.hpp"
+
 #include "common/loser_tree.hpp"
 #include "common/rng.hpp"
 #include "scratchpad/machine.hpp"
@@ -125,4 +127,4 @@ BENCHMARK(BM_NearArenaAllocFree);
 }  // namespace
 }  // namespace tlm
 
-BENCHMARK_MAIN();
+TLM_GBENCH_MAIN();

@@ -1,0 +1,105 @@
+// report_diff — the CI perf-regression gate over run-report JSON artifacts.
+//
+// Usage:
+//   report_diff --validate report.json
+//       Schema-check a tlm.run_report document. Exit 0 when valid, 1 when
+//       invalid, 2 on parse/usage errors.
+//   report_diff baseline.json current.json [--threshold=0.05] [--warn-only]
+//               [--include-wall] [--verbose]
+//       Compare two reports (any JSON with numeric leaves works, including
+//       google-benchmark output). Exit 0 when no cost leaf regressed beyond
+//       the threshold, 1 on regression (suppressed to 0 by --warn-only),
+//       2 on parse/usage errors.
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/diff.hpp"
+#include "obs/run_report.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: report_diff --validate <report.json>\n"
+      << "       report_diff <baseline.json> <current.json> [options]\n"
+      << "options:\n"
+      << "  --threshold=<frac>  relative cost increase flagged as regression"
+         " (default 0.05)\n"
+      << "  --warn-only         report regressions but exit 0\n"
+      << "  --include-wall      also compare host wall-clock leaves\n"
+      << "  --verbose           list every compared leaf, not just changes\n";
+  return 2;
+}
+
+int validate(const std::string& path) {
+  const tlm::obs::Json j = tlm::obs::Json::load_file(path);
+  const std::vector<std::string> problems = tlm::obs::validate_report(j);
+  if (problems.empty()) {
+    std::cout << path << ": valid tlm.run_report v"
+              << tlm::obs::RunReport::kSchemaVersion << "\n";
+    return 0;
+  }
+  std::cerr << path << ": INVALID run report:\n";
+  for (const auto& p : problems) std::cerr << "  - " << p << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  tlm::obs::DiffOptions opt;
+  bool warn_only = false, verbose = false, do_validate = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--validate") {
+      do_validate = true;
+    } else if (a == "--warn-only") {
+      warn_only = true;
+    } else if (a == "--include-wall") {
+      opt.include_wall = true;
+    } else if (a == "--verbose") {
+      verbose = true;
+    } else if (a.rfind("--threshold=", 0) == 0) {
+      try {
+        opt.threshold = std::stod(a.substr(12));
+      } catch (const std::exception&) {
+        std::cerr << "error: bad --threshold value: " << a << "\n";
+        return 2;
+      }
+    } else if (a.rfind("--", 0) == 0) {
+      std::cerr << "error: unknown option: " << a << "\n";
+      return usage();
+    } else {
+      positional.push_back(a);
+    }
+  }
+
+  try {
+    if (do_validate) {
+      if (positional.size() != 1) return usage();
+      return validate(positional[0]);
+    }
+    if (positional.size() != 2) return usage();
+
+    const tlm::obs::Json baseline = tlm::obs::Json::load_file(positional[0]);
+    const tlm::obs::Json current = tlm::obs::Json::load_file(positional[1]);
+    const tlm::obs::DiffReport d =
+        tlm::obs::diff_reports(baseline, current, opt);
+    std::cout << d.format(verbose);
+    if (d.has_regression()) {
+      std::cout << (warn_only ? "WARN" : "FAIL") << ": " << d.regressions()
+                << " cost leaf(s) regressed beyond "
+                << opt.threshold * 100.0 << "%\n";
+      return warn_only ? 0 : 1;
+    }
+    std::cout << "OK: no regression beyond " << opt.threshold * 100.0
+              << "% across " << d.leaves_compared << " cost leaves\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -17,6 +17,7 @@ namespace {
 using analysis::Algorithm;
 
 int run(const bench::Flags& flags) {
+  const bench::WallClock wall;
   const bool quick = flags.has("--quick");
   const std::size_t cores =
       static_cast<std::size_t>(flags.u64("--cores", 8));
@@ -35,6 +36,19 @@ int run(const bench::Flags& flags) {
   const analysis::SortRun gnu =
       analysis::run_sort_counting(base, Algorithm::GnuSort, n, seed);
 
+  obs::RunReport report("sweep_bandwidth");
+  report.params["cores"] = static_cast<std::uint64_t>(cores);
+  report.params["n"] = n;
+  report.params["near_capacity"] = near_cap;
+  report.params["seed"] = seed;
+  {
+    obs::RunRecord& rec = report.add_run("gnu.baseline");
+    rec.set_config(base);
+    rec.set_counting(gnu.counting, base.block_bytes);
+    rec.wall_seconds = gnu.host_seconds;
+    rec.gauges["modeled_seconds"] = gnu.modeled_seconds;
+  }
+
   Table t("NMsort time vs bandwidth expansion ρ (GNU baseline = ρ-invariant)");
   t.header({"rho", "NMsort model (s)", "NMsort near time (s)",
             "speedup vs GNU", "sim time (s)", "sim speedup"});
@@ -47,6 +61,14 @@ int run(const bench::Flags& flags) {
     const analysis::SortRun nm =
         analysis::run_sort_counting(cfg, Algorithm::NMsort, n, seed);
     if (!nm.verified) return 1;
+
+    obs::RunRecord& rec =
+        report.add_run("nmsort.rho" + Table::num(rho, 0));
+    rec.set_config(cfg);
+    rec.set_counting(nm.counting, cfg.block_bytes);
+    rec.wall_seconds = nm.host_seconds;
+    rec.gauges["modeled_seconds"] = nm.modeled_seconds;
+    rec.gauges["speedup_vs_gnu"] = gnu.modeled_seconds / nm.modeled_seconds;
 
     double near_s = 0;
     for (const auto& ph : nm.counting.phases) near_s += ph.near_s;
@@ -78,6 +100,7 @@ int run(const bench::Flags& flags) {
             << (monotone ? "yes" : "NO") << "\n";
   std::cout << "shape: scratchpad-bound component scales ~1/rho (linear "
                "reduction), far component is the rho-independent floor\n";
+  bench::write_report_if_requested(flags, report, wall);
   return monotone ? 0 : 1;
 }
 

@@ -20,6 +20,7 @@ namespace {
 using analysis::Algorithm;
 
 int run(const bench::Flags& flags) {
+  const bench::WallClock wall;
   // Large enough that per-thread work is meaningful at 512 cores; the
   // counting backend handles this size in well under a second per run.
   const std::uint64_t n = flags.u64("--n", 4'000'000);
@@ -48,6 +49,12 @@ int run(const bench::Flags& flags) {
   t.header({"cores", "measured regime", "GNU compute (s)", "GNU memory (s)",
             "GNU model (s)", "NMsort model (s)", "NMsort advantage"});
 
+  obs::RunReport report("sweep_cores");
+  report.params["n"] = n;
+  report.params["near_capacity"] = near_cap;
+  report.params["rho"] = rho;
+  report.params["seed"] = seed;
+
   bool crossover_seen = false;
   double prev_adv = 0;
   for (std::size_t cores : {32ULL, 64ULL, 128ULL, 256ULL, 512ULL}) {
@@ -75,6 +82,17 @@ int run(const bench::Flags& flags) {
     if (adv > 1.05 && prev_adv <= 1.05 && prev_adv > 0) crossover_seen = true;
     prev_adv = adv;
 
+    for (const auto* r : {&gnu, &nm}) {
+      obs::RunRecord& rec = report.add_run(
+          std::string(r == &gnu ? "gnu" : "nmsort") + ".cores" +
+          std::to_string(cores));
+      rec.set_config(cfg);
+      rec.set_counting(r->counting, cfg.block_bytes);
+      rec.wall_seconds = r->host_seconds;
+      rec.gauges["modeled_seconds"] = r->modeled_seconds;
+      rec.gauges["memory_bound"] = bound ? 1.0 : 0.0;
+    }
+
     t.row({std::to_string(cores), bound ? "memory-bound" : "compute-bound",
            Table::num(gnu_comp, 6), Table::num(gnu_mem, 6),
            Table::num(gnu.modeled_seconds, 6),
@@ -86,6 +104,7 @@ int run(const bench::Flags& flags) {
   std::cout << "shape: advantage crossover observed in sweep: "
             << (crossover_seen ? "yes" : "(already bound at smallest size)")
             << "\n";
+  bench::write_report_if_requested(flags, report, wall);
   return 0;
 }
 

@@ -11,6 +11,7 @@ namespace tlm {
 namespace {
 
 int run(const bench::Flags& flags) {
+  const bench::WallClock wall;
   bench::banner("sweep_matrix",
                 "appendix: full experiment grid (counting backend) + CSV");
 
@@ -45,6 +46,8 @@ int run(const bench::Flags& flags) {
   std::cout << "wrote " << count << " rows to ./" << path << "\n";
   std::cout << "shape: every run's output verified sorted: "
             << (all_ok ? "yes" : "NO") << "\n";
+  obs::RunReport report = analysis::to_run_report(grid, rows);
+  bench::write_report_if_requested(flags, report, wall);
   return all_ok ? 0 : 1;
 }
 

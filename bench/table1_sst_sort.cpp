@@ -24,6 +24,7 @@ namespace {
 using analysis::Algorithm;
 
 int run(const bench::Flags& flags) {
+  const bench::WallClock wall;
   const bool quick = flags.has("--quick");
   const bool full = flags.has("--full");
   const std::size_t cores =
@@ -61,10 +62,19 @@ int run(const bench::Flags& flags) {
   std::vector<std::uint64_t> near_acc_model, far_acc_model;
   bool all_verified = true;
 
+  obs::RunReport report("table1_sst_sort");
+  report.params["cores"] = static_cast<std::uint64_t>(cores);
+  report.params["n"] = n;
+  report.params["near_capacity"] = near_cap;
+  report.params["seed"] = seed;
+  report.params["backend"] = quick ? "counting" : "cycle-sim+counting";
+
   for (const Col& c : cols) {
+    obs::RunRecord& rec = report.add_run(c.name);
+    const TwoLevelConfig cfg =
+        analysis::scaled_counting_config(c.rho, cores, near_cap);
+    rec.set_config(cfg);
     if (quick) {
-      const TwoLevelConfig cfg =
-          analysis::scaled_counting_config(c.rho, cores, near_cap);
       const analysis::SortRun r =
           analysis::run_sort_counting(cfg, c.algo, n, seed);
       all_verified &= r.verified;
@@ -74,6 +84,9 @@ int run(const bench::Flags& flags) {
       far_acc.push_back(r.counting.far_accesses(cfg.block_bytes));
       near_acc_model.push_back(near_acc.back());
       far_acc_model.push_back(far_acc.back());
+      rec.set_counting(r.counting, cfg.block_bytes);
+      rec.wall_seconds = r.host_seconds;
+      rec.gauges["verified"] = r.verified ? 1.0 : 0.0;
     } else {
       const analysis::SimulatedSort s =
           analysis::simulate_sort(c.rho, cores, n, near_cap, c.algo, seed);
@@ -85,6 +98,10 @@ int run(const bench::Flags& flags) {
       near_acc_model.push_back(
           s.counting.counting.near_accesses(64));
       far_acc_model.push_back(s.counting.counting.far_accesses(64));
+      rec.set_counting(s.counting.counting, 64);
+      rec.set_sim(s.report);
+      rec.wall_seconds = s.counting.host_seconds;
+      rec.gauges["verified"] = s.counting.verified ? 1.0 : 0.0;
       std::cout << "  [" << c.name << "] simulated (" << s.report.events
                 << " events), sorted output verified="
                 << (s.counting.verified ? "yes" : "NO") << "\n";
@@ -124,6 +141,7 @@ int run(const bench::Flags& flags) {
             << "  (paper: 2.49)\n";
   std::cout << "shape: GNU sort scratchpad accesses: " << near_acc[0]
             << " (paper: 0)\n";
+  bench::write_report_if_requested(flags, report, wall);
   return all_verified ? 0 : 1;
 }
 

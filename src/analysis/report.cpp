@@ -52,6 +52,29 @@ std::string to_csv(const std::vector<SweepRow>& rows) {
   return os.str();
 }
 
+obs::RunReport to_run_report(const SweepGrid& grid,
+                             const std::vector<SweepRow>& rows) {
+  obs::RunReport report("sweep_matrix");
+  report.params["near_capacity"] = grid.near_capacity;
+  report.params["seed"] = grid.seed;
+  for (const SweepRow& r : rows) {
+    std::ostringstream name;
+    name << to_string(r.algorithm) << ".rho" << r.rho << ".cores" << r.cores
+         << ".n" << r.n;
+    obs::RunRecord& rec = report.add_run(name.str());
+    rec.counters["far_bytes"] = r.far_bytes;
+    rec.counters["near_bytes"] = r.near_bytes;
+    rec.counters["far_blocks"] = r.far_blocks;
+    rec.counters["near_blocks"] = r.near_blocks;
+    rec.counters["far_bursts"] = r.far_bursts;
+    rec.counters["near_bursts"] = r.near_bursts;
+    rec.gauges["model_seconds"] = r.model_seconds;
+    rec.gauges["compute_ops"] = r.compute_ops;
+    rec.gauges["verified"] = r.verified ? 1.0 : 0.0;
+  }
+  return report;
+}
+
 std::size_t write_sweep_csv(const SweepGrid& grid, const std::string& path) {
   const std::vector<SweepRow> rows = run_sweep(grid);
   std::ofstream os(path);

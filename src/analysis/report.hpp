@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "analysis/experiment.hpp"
+#include "obs/run_report.hpp"
 
 namespace tlm::analysis {
 
@@ -42,5 +43,10 @@ std::string to_csv(const std::vector<SweepRow>& rows);
 
 // Convenience: run and write to `path`; returns the row count.
 std::size_t write_sweep_csv(const SweepGrid& grid, const std::string& path);
+
+// The same rows as a structured run report (one RunRecord per grid point,
+// counters mirroring the CSV columns) for the --json pipeline.
+obs::RunReport to_run_report(const SweepGrid& grid,
+                             const std::vector<SweepRow>& rows);
 
 }  // namespace tlm::analysis

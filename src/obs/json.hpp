@@ -1,0 +1,103 @@
+// Minimal JSON document model, serializer, and parser — the substrate of
+// the observability layer (run reports, report diffing, CI artifacts).
+//
+// Deliberately small: objects are ordered maps (deterministic output, so
+// reports diff cleanly under git), numbers are stored as uint64 when they
+// arrive as non-negative integers (counter fidelity beyond 2^53) and as
+// double otherwise, and serialization round-trips both.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace tlm::obs {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json, std::less<>>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(double d) : v_(d) {}
+  Json(std::uint64_t u) : v_(u) {}
+  Json(std::int64_t i) {
+    if (i >= 0)
+      v_ = static_cast<std::uint64_t>(i);
+    else
+      v_ = static_cast<double>(i);
+  }
+  Json(int i) : Json(static_cast<std::int64_t>(i)) {}
+  Json(unsigned u) : v_(static_cast<std::uint64_t>(u)) {}
+#if defined(__APPLE__) || (defined(__SIZEOF_SIZE_T__) && __SIZEOF_SIZE_T__ != 8)
+  Json(std::size_t u) : v_(static_cast<std::uint64_t>(u)) {}
+#endif
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(std::string_view s) : v_(std::string(s)) {}
+  Json(Array a) : v_(std::move(a)) {}
+  Json(Object o) : v_(std::move(o)) {}
+
+  static Json object() { return Json(Object{}); }
+  static Json array() { return Json(Array{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const {
+    return std::holds_alternative<std::uint64_t>(v_) ||
+           std::holds_alternative<double>(v_);
+  }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  // Typed accessors: wrong-type access throws std::runtime_error so schema
+  // violations surface as diagnostics, not UB.
+  bool boolean() const;
+  std::uint64_t u64() const;  // coerces an integral double
+  double f64() const;         // coerces a uint64
+  const std::string& str() const;
+  const Array& arr() const;
+  Array& arr();
+  const Object& obj() const;
+  Object& obj();
+
+  // Object access. operator[] inserts (and converts null to object);
+  // at() throws when the key is missing.
+  Json& operator[](std::string_view key);
+  const Json& at(std::string_view key) const;
+  bool contains(std::string_view key) const;
+  // get(key, def): typed lookup with a default for optional fields.
+  std::uint64_t get_u64(std::string_view key, std::uint64_t def) const;
+  double get_f64(std::string_view key, double def) const;
+  std::string get_str(std::string_view key, std::string_view def) const;
+
+  void push_back(Json v);
+
+  // Numeric-aware equality: 2.0 == uint64(2), so write -> parse -> compare
+  // round-trips even when the shortest serialization of a double is an
+  // integer literal.
+  friend bool operator==(const Json& a, const Json& b);
+
+  // Serialization. indent < 0 emits compact single-line JSON.
+  std::string dump(int indent = 2) const;
+  void write_file(const std::string& path, int indent = 2) const;
+
+  // Parsing; throws std::runtime_error with an offset on malformed input.
+  static Json parse(std::string_view text);
+  static Json load_file(const std::string& path);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::uint64_t, double, std::string,
+               Array, Object>
+      v_;
+};
+
+}  // namespace tlm::obs

@@ -1,0 +1,71 @@
+#include "obs/metrics.hpp"
+
+namespace tlm::obs {
+
+MetricsRegistry::MetricsRegistry(std::size_t shards)
+    : shards_(shards ? shards : 1) {}
+
+MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(shards_)))
+             .first;
+  return *it->second;
+}
+
+MetricsRegistry::Timer& MetricsRegistry::timer(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = timers_.find(name);
+  if (it == timers_.end())
+    it = timers_
+             .emplace(std::string(name),
+                      std::unique_ptr<Timer>(new Timer(shards_)))
+             .first;
+  return *it->second;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  std::lock_guard lock(mu_);
+  gauges_.insert_or_assign(std::string(name), value);
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::counters() const {
+  std::lock_guard lock(mu_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [k, c] : counters_) out.emplace(k, c->value());
+  return out;
+}
+
+std::map<std::string, double> MetricsRegistry::gauges() const {
+  std::lock_guard lock(mu_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
+std::map<std::string, double> MetricsRegistry::timers_seconds() const {
+  std::lock_guard lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [k, t] : timers_) out.emplace(k, t->seconds());
+  return out;
+}
+
+Json MetricsRegistry::to_json() const {
+  Json j = Json::object();
+  if (const auto c = counters(); !c.empty()) {
+    Json& jc = j["counters"];
+    for (const auto& [k, v] : c) jc[k] = v;
+  }
+  if (const auto g = gauges(); !g.empty()) {
+    Json& jg = j["gauges"];
+    for (const auto& [k, v] : g) jg[k] = v;
+  }
+  if (const auto t = timers_seconds(); !t.empty()) {
+    Json& jt = j["timers_s"];
+    for (const auto& [k, v] : t) jt[k] = v;
+  }
+  return j;
+}
+
+}  // namespace tlm::obs

@@ -1,0 +1,469 @@
+#include "obs/run_report.hpp"
+
+#include <stdexcept>
+
+namespace tlm::obs {
+
+namespace {
+
+Json phase_to_json(const PhaseStats& p, bool with_name) {
+  Json j = Json::object();
+  if (with_name) j["name"] = p.name;
+  j["far_read_bytes"] = p.far_read_bytes;
+  j["far_write_bytes"] = p.far_write_bytes;
+  j["near_read_bytes"] = p.near_read_bytes;
+  j["near_write_bytes"] = p.near_write_bytes;
+  j["far_blocks"] = p.far_blocks;
+  j["near_blocks"] = p.near_blocks;
+  j["far_bursts"] = p.far_bursts;
+  j["near_bursts"] = p.near_bursts;
+  j["compute_ops_total"] = p.compute_ops_total;
+  j["compute_ops_max"] = p.compute_ops_max;
+  j["far_s"] = p.far_s;
+  j["near_s"] = p.near_s;
+  j["compute_s"] = p.compute_s;
+  j["seconds"] = p.seconds;
+  j["host_seconds"] = p.host_seconds;
+  return j;
+}
+
+PhaseStats phase_from_json(const Json& j) {
+  PhaseStats p;
+  p.name = j.get_str("name", "");
+  p.far_read_bytes = j.get_u64("far_read_bytes", 0);
+  p.far_write_bytes = j.get_u64("far_write_bytes", 0);
+  p.near_read_bytes = j.get_u64("near_read_bytes", 0);
+  p.near_write_bytes = j.get_u64("near_write_bytes", 0);
+  p.far_blocks = j.get_u64("far_blocks", 0);
+  p.near_blocks = j.get_u64("near_blocks", 0);
+  p.far_bursts = j.get_u64("far_bursts", 0);
+  p.near_bursts = j.get_u64("near_bursts", 0);
+  p.compute_ops_total = j.get_f64("compute_ops_total", 0);
+  p.compute_ops_max = j.get_f64("compute_ops_max", 0);
+  p.far_s = j.get_f64("far_s", 0);
+  p.near_s = j.get_f64("near_s", 0);
+  p.compute_s = j.get_f64("compute_s", 0);
+  p.seconds = j.get_f64("seconds", 0);
+  p.host_seconds = j.get_f64("host_seconds", 0);
+  return p;
+}
+
+Json config_to_json(const TwoLevelConfig& c) {
+  Json j = Json::object();
+  j["near_capacity"] = c.near_capacity;
+  j["block_bytes"] = c.block_bytes;
+  j["cache_bytes"] = c.cache_bytes;
+  j["rho"] = c.rho;
+  j["far_bw"] = c.far_bw;
+  j["near_latency"] = c.near_latency;
+  j["far_latency"] = c.far_latency;
+  j["core_rate"] = c.core_rate;
+  j["threads"] = static_cast<std::uint64_t>(c.threads);
+  j["overlap_dma"] = c.overlap_dma;
+  return j;
+}
+
+TwoLevelConfig config_from_json(const Json& j) {
+  TwoLevelConfig c;
+  c.near_capacity = j.get_u64("near_capacity", c.near_capacity);
+  c.block_bytes = j.get_u64("block_bytes", c.block_bytes);
+  c.cache_bytes = j.get_u64("cache_bytes", c.cache_bytes);
+  c.rho = j.get_f64("rho", c.rho);
+  c.far_bw = j.get_f64("far_bw", c.far_bw);
+  c.near_latency = j.get_f64("near_latency", c.near_latency);
+  c.far_latency = j.get_f64("far_latency", c.far_latency);
+  c.core_rate = j.get_f64("core_rate", c.core_rate);
+  c.threads = static_cast<std::size_t>(
+      j.get_u64("threads", static_cast<std::uint64_t>(c.threads)));
+  c.overlap_dma = j.contains("overlap_dma") && j.at("overlap_dma").boolean();
+  return c;
+}
+
+Json sim_to_json(const SimCounters& s) {
+  Json j = Json::object();
+  j["seconds"] = s.seconds;
+  j["events"] = s.events;
+  Json& far = j["far"];
+  far["reads"] = s.far_reads;
+  far["writes"] = s.far_writes;
+  far["bytes"] = s.far_bytes;
+  far["row_hits"] = s.far_row_hits;
+  far["row_misses"] = s.far_row_misses;
+  Json& near = j["near"];
+  near["reads"] = s.near_reads;
+  near["writes"] = s.near_writes;
+  near["bytes"] = s.near_bytes;
+  Json& l1 = j["l1"];
+  l1["accesses"] = s.l1_accesses;
+  l1["hits"] = s.l1_hits;
+  l1["fills"] = s.l1_fills;
+  l1["writebacks"] = s.l1_writebacks;
+  Json& l2 = j["l2"];
+  l2["accesses"] = s.l2_accesses;
+  l2["hits"] = s.l2_hits;
+  l2["fills"] = s.l2_fills;
+  l2["writebacks"] = s.l2_writebacks;
+  Json& noc = j["noc"];
+  noc["messages"] = s.noc_messages;
+  noc["bytes"] = s.noc_bytes;
+  Json& cores = j["cores"];
+  cores["loads"] = s.core_loads;
+  cores["stores"] = s.core_stores;
+  cores["compute_ops"] = s.compute_ops;
+  cores["barrier_epochs"] = s.barrier_epochs;
+  if (s.dma_descriptors || s.dma_lines || s.dma_bytes) {
+    Json& dma = j["dma"];
+    dma["descriptors"] = s.dma_descriptors;
+    dma["lines"] = s.dma_lines;
+    dma["bytes"] = s.dma_bytes;
+  }
+  return j;
+}
+
+SimCounters sim_from_json(const Json& j) {
+  SimCounters s;
+  s.seconds = j.get_f64("seconds", 0);
+  s.events = j.get_u64("events", 0);
+  auto sect = [&](const char* key) -> const Json* {
+    return j.contains(key) ? &j.at(key) : nullptr;
+  };
+  if (const Json* far = sect("far")) {
+    s.far_reads = far->get_u64("reads", 0);
+    s.far_writes = far->get_u64("writes", 0);
+    s.far_bytes = far->get_u64("bytes", 0);
+    s.far_row_hits = far->get_u64("row_hits", 0);
+    s.far_row_misses = far->get_u64("row_misses", 0);
+  }
+  if (const Json* near = sect("near")) {
+    s.near_reads = near->get_u64("reads", 0);
+    s.near_writes = near->get_u64("writes", 0);
+    s.near_bytes = near->get_u64("bytes", 0);
+  }
+  if (const Json* l1 = sect("l1")) {
+    s.l1_accesses = l1->get_u64("accesses", 0);
+    s.l1_hits = l1->get_u64("hits", 0);
+    s.l1_fills = l1->get_u64("fills", 0);
+    s.l1_writebacks = l1->get_u64("writebacks", 0);
+  }
+  if (const Json* l2 = sect("l2")) {
+    s.l2_accesses = l2->get_u64("accesses", 0);
+    s.l2_hits = l2->get_u64("hits", 0);
+    s.l2_fills = l2->get_u64("fills", 0);
+    s.l2_writebacks = l2->get_u64("writebacks", 0);
+  }
+  if (const Json* noc = sect("noc")) {
+    s.noc_messages = noc->get_u64("messages", 0);
+    s.noc_bytes = noc->get_u64("bytes", 0);
+  }
+  if (const Json* cores = sect("cores")) {
+    s.core_loads = cores->get_u64("loads", 0);
+    s.core_stores = cores->get_u64("stores", 0);
+    s.compute_ops = cores->get_f64("compute_ops", 0);
+    s.barrier_epochs = cores->get_u64("barrier_epochs", 0);
+  }
+  if (const Json* dma = sect("dma")) {
+    s.dma_descriptors = dma->get_u64("descriptors", 0);
+    s.dma_lines = dma->get_u64("lines", 0);
+    s.dma_bytes = dma->get_u64("bytes", 0);
+  }
+  return s;
+}
+
+}  // namespace
+
+SimCounters SimCounters::from(const sim::SimReport& r) {
+  SimCounters s;
+  s.seconds = r.seconds;
+  s.events = r.events;
+  s.far_reads = r.far.reads;
+  s.far_writes = r.far.writes;
+  s.far_bytes = r.far.bytes;
+  s.far_row_hits = r.far.row_hits;
+  s.far_row_misses = r.far.row_misses;
+  s.near_reads = r.near.reads;
+  s.near_writes = r.near.writes;
+  s.near_bytes = r.near.bytes;
+  s.l1_accesses = r.l1.accesses();
+  s.l1_hits = r.l1.hits();
+  s.l1_fills = r.l1.fills;
+  s.l1_writebacks = r.l1.writebacks;
+  s.l2_accesses = r.l2.accesses();
+  s.l2_hits = r.l2.hits();
+  s.l2_fills = r.l2.fills;
+  s.l2_writebacks = r.l2.writebacks;
+  s.noc_messages = r.noc.messages;
+  s.noc_bytes = r.noc.bytes;
+  s.core_loads = r.core_loads;
+  s.core_stores = r.core_stores;
+  s.compute_ops = r.compute_ops;
+  s.barrier_epochs = r.barrier_epochs;
+  return s;
+}
+
+void RunRecord::set_config(const TwoLevelConfig& cfg) {
+  config = cfg;
+  has_config = true;
+}
+
+void RunRecord::set_counting(const MachineStats& st, std::uint64_t line) {
+  counting = st;
+  line_bytes = line ? line : 64;
+  has_counting = true;
+}
+
+void RunRecord::set_sim(const sim::SimReport& r) {
+  // Preserve DMA counters a prior set_dma() call may have attached.
+  const SimCounters dma_keep = sim;
+  sim = SimCounters::from(r);
+  sim.dma_descriptors = dma_keep.dma_descriptors;
+  sim.dma_lines = dma_keep.dma_lines;
+  sim.dma_bytes = dma_keep.dma_bytes;
+  has_sim = true;
+}
+
+void RunRecord::set_dma(const sim::DmaStats& d) {
+  sim.dma_descriptors = d.descriptors;
+  sim.dma_lines = d.lines;
+  sim.dma_bytes = d.bytes;
+  has_sim = true;
+}
+
+void RunRecord::add_metrics(const MetricsRegistry& reg) {
+  for (const auto& [k, v] : reg.counters()) counters.insert_or_assign(k, v);
+  for (const auto& [k, v] : reg.gauges()) gauges.insert_or_assign(k, v);
+  for (const auto& [k, v] : reg.timers_seconds())
+    gauges.insert_or_assign(k + ".seconds", v);
+}
+
+RunRecord& RunReport::add_run(std::string name) {
+  runs.emplace_back();
+  runs.back().name = std::move(name);
+  return runs.back();
+}
+
+Json RunReport::to_json() const {
+  Json j = Json::object();
+  j["schema"] = kSchemaName;
+  j["schema_version"] = kSchemaVersion;
+  j["benchmark"] = benchmark;
+  j["params"] = params.is_null() ? Json::object() : params;
+  j["wall_seconds"] = wall_seconds;
+  Json jruns = Json::array();
+  for (const RunRecord& r : runs) {
+    Json jr = Json::object();
+    jr["name"] = r.name;
+    jr["wall_seconds"] = r.wall_seconds;
+    if (r.has_config) jr["config"] = config_to_json(r.config);
+    if (r.has_counting) {
+      Json& c = jr["counting"];
+      c["line_bytes"] = r.line_bytes;
+      c["far_accesses"] = r.counting.far_accesses(r.line_bytes);
+      c["near_accesses"] = r.counting.near_accesses(r.line_bytes);
+      c["total"] = phase_to_json(r.counting.total, /*with_name=*/false);
+      Json phases = Json::array();
+      for (const PhaseStats& p : r.counting.phases)
+        phases.push_back(phase_to_json(p, /*with_name=*/true));
+      c["phases"] = std::move(phases);
+    }
+    if (r.has_sim) jr["sim"] = sim_to_json(r.sim);
+    if (!r.counters.empty() || !r.gauges.empty()) {
+      Json& m = jr["metrics"];
+      if (!r.counters.empty()) {
+        Json& mc = m["counters"];
+        for (const auto& [k, v] : r.counters) mc[k] = v;
+      }
+      if (!r.gauges.empty()) {
+        Json& mg = m["gauges"];
+        for (const auto& [k, v] : r.gauges) mg[k] = v;
+      }
+    }
+    jruns.push_back(std::move(jr));
+  }
+  j["runs"] = std::move(jruns);
+  return j;
+}
+
+RunReport RunReport::from_json(const Json& j) {
+  const auto problems = validate_report(j);
+  if (!problems.empty())
+    throw std::runtime_error("run report schema violation: " + problems[0]);
+
+  RunReport rep;
+  rep.benchmark = j.at("benchmark").str();
+  rep.params = j.contains("params") ? j.at("params") : Json::object();
+  rep.wall_seconds = j.get_f64("wall_seconds", 0);
+  for (const Json& jr : j.at("runs").arr()) {
+    RunRecord& r = rep.add_run(jr.at("name").str());
+    r.wall_seconds = jr.get_f64("wall_seconds", 0);
+    if (jr.contains("config")) {
+      r.config = config_from_json(jr.at("config"));
+      r.has_config = true;
+    }
+    if (jr.contains("counting")) {
+      const Json& c = jr.at("counting");
+      r.line_bytes = c.get_u64("line_bytes", 64);
+      r.counting.total = phase_from_json(c.at("total"));
+      if (c.contains("phases"))
+        for (const Json& p : c.at("phases").arr())
+          r.counting.phases.push_back(phase_from_json(p));
+      r.has_counting = true;
+    }
+    if (jr.contains("sim")) {
+      r.sim = sim_from_json(jr.at("sim"));
+      r.has_sim = true;
+    }
+    if (jr.contains("metrics")) {
+      const Json& m = jr.at("metrics");
+      if (m.contains("counters"))
+        for (const auto& [k, v] : m.at("counters").obj())
+          r.counters.emplace(k, v.u64());
+      if (m.contains("gauges"))
+        for (const auto& [k, v] : m.at("gauges").obj())
+          r.gauges.emplace(k, v.f64());
+    }
+  }
+  return rep;
+}
+
+void RunReport::write(const std::string& path) const {
+  to_json().write_file(path);
+}
+
+RunReport RunReport::load(const std::string& path) {
+  return from_json(Json::load_file(path));
+}
+
+std::vector<std::string> validate_report(const Json& j) {
+  std::vector<std::string> out;
+  auto need = [&](const Json& o, const char* key, const char* where,
+                  auto&& pred, const char* type) -> const Json* {
+    if (!o.contains(key)) {
+      out.push_back(std::string(where) + ": missing required key '" + key +
+                    "'");
+      return nullptr;
+    }
+    const Json& v = o.at(key);
+    if (!pred(v)) {
+      out.push_back(std::string(where) + ": key '" + key + "' must be " +
+                    type);
+      return nullptr;
+    }
+    return &v;
+  };
+  auto is_str = [](const Json& v) { return v.is_string(); };
+  auto is_num = [](const Json& v) { return v.is_number(); };
+  auto is_arr = [](const Json& v) { return v.is_array(); };
+  auto is_obj = [](const Json& v) { return v.is_object(); };
+
+  if (!j.is_object()) {
+    out.push_back("top level: not a JSON object");
+    return out;
+  }
+  if (const Json* s = need(j, "schema", "top level", is_str, "a string"))
+    if (s->str() != RunReport::kSchemaName)
+      out.push_back("top level: schema is '" + s->str() + "', expected '" +
+                    RunReport::kSchemaName + "'");
+  if (const Json* v =
+          need(j, "schema_version", "top level", is_num, "a number"))
+    if (v->u64() != RunReport::kSchemaVersion)
+      out.push_back("top level: unsupported schema_version " +
+                    std::to_string(v->u64()));
+  need(j, "benchmark", "top level", is_str, "a string");
+  need(j, "wall_seconds", "top level", is_num, "a number");
+  if (j.contains("params") && !j.at("params").is_object())
+    out.push_back("top level: 'params' must be an object");
+
+  const Json* runs = need(j, "runs", "top level", is_arr, "an array");
+  if (!runs) return out;
+  std::size_t i = 0;
+  for (const Json& jr : runs->arr()) {
+    const std::string where = "runs[" + std::to_string(i++) + "]";
+    if (!jr.is_object()) {
+      out.push_back(where + ": not an object");
+      continue;
+    }
+    need(jr, "name", where.c_str(), is_str, "a string");
+    if (jr.contains("config") && !jr.at("config").is_object())
+      out.push_back(where + ": 'config' must be an object");
+    if (jr.contains("counting")) {
+      const Json& c = jr.at("counting");
+      if (!c.is_object()) {
+        out.push_back(where + ": 'counting' must be an object");
+      } else {
+        const std::string cw = where + ".counting";
+        need(c, "line_bytes", cw.c_str(), is_num, "a number");
+        need(c, "far_accesses", cw.c_str(), is_num, "a number");
+        need(c, "near_accesses", cw.c_str(), is_num, "a number");
+        if (const Json* tot =
+                need(c, "total", cw.c_str(), is_obj, "an object")) {
+          for (const char* key :
+               {"far_read_bytes", "far_write_bytes", "near_read_bytes",
+                "near_write_bytes", "far_bursts", "near_bursts", "seconds"})
+            need(*tot, key, (cw + ".total").c_str(), is_num, "a number");
+        }
+        if (c.contains("phases")) {
+          if (!c.at("phases").is_array()) {
+            out.push_back(cw + ": 'phases' must be an array");
+          } else {
+            std::size_t pi = 0;
+            for (const Json& p : c.at("phases").arr()) {
+              const std::string pw =
+                  cw + ".phases[" + std::to_string(pi++) + "]";
+              if (!p.is_object()) {
+                out.push_back(pw + ": not an object");
+                continue;
+              }
+              need(p, "name", pw.c_str(), is_str, "a string");
+              need(p, "seconds", pw.c_str(), is_num, "a number");
+            }
+          }
+        }
+      }
+    }
+    if (jr.contains("sim")) {
+      const Json& s = jr.at("sim");
+      if (!s.is_object()) {
+        out.push_back(where + ": 'sim' must be an object");
+      } else {
+        const std::string sw = where + ".sim";
+        need(s, "seconds", sw.c_str(), is_num, "a number");
+        need(s, "events", sw.c_str(), is_num, "a number");
+        for (const char* sect : {"far", "near"})
+          if (s.contains(sect) && !s.at(sect).is_object())
+            out.push_back(sw + ": '" + sect + "' must be an object");
+      }
+    }
+  }
+  return out;
+}
+
+void export_stats(const MachineStats& st, std::uint64_t line_bytes,
+                  MetricsRegistry& reg) {
+  const PhaseStats& t = st.total;
+  reg.counter("machine.far_read_bytes").add(t.far_read_bytes);
+  reg.counter("machine.far_write_bytes").add(t.far_write_bytes);
+  reg.counter("machine.near_read_bytes").add(t.near_read_bytes);
+  reg.counter("machine.near_write_bytes").add(t.near_write_bytes);
+  reg.counter("machine.far_blocks").add(t.far_blocks);
+  reg.counter("machine.near_blocks").add(t.near_blocks);
+  reg.counter("machine.far_bursts").add(t.far_bursts);
+  reg.counter("machine.near_bursts").add(t.near_bursts);
+  reg.counter("machine.far_accesses").add(st.far_accesses(line_bytes));
+  reg.counter("machine.near_accesses").add(st.near_accesses(line_bytes));
+  reg.set_gauge("machine.compute_ops_total", t.compute_ops_total);
+  reg.set_gauge("machine.modeled_seconds", t.seconds);
+  reg.set_gauge("machine.host_seconds", t.host_seconds);
+}
+
+void export_stats(const sim::SimReport& r, MetricsRegistry& reg) {
+  for (const auto& [name, value] : r.counters()) {
+    // Integral counters stay counters; rates/times become gauges.
+    if (value >= 0 && value == static_cast<double>(
+                                   static_cast<std::uint64_t>(value)))
+      reg.counter("sim." + name).add(static_cast<std::uint64_t>(value));
+    else
+      reg.set_gauge("sim." + name, value);
+  }
+}
+
+}  // namespace tlm::obs

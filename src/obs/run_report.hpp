@@ -1,0 +1,110 @@
+// RunReport — the machine-readable record every experiment emits.
+//
+// One report file per bench invocation; one RunRecord per configuration the
+// bench ran (Table I emits four: GNU sort and NMsort at 2x/4x/8x). Each
+// record carries the machine configuration, the counting backend's
+// MachineStats (totals + per-phase), the cycle simulator's counters (cache
+// hits, NoC traffic, memory accesses, DMA bursts) when the run was
+// simulated, wall-clock, and any custom MetricsRegistry snapshot.
+//
+// The schema ("tlm.run_report", version 1, documented in README §Benchmark
+// reports) is the contract between the benches, the checked-in CI
+// baselines, and the report_diff regression gate: fields are only ever
+// added, and consumers ignore keys they do not know.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "scratchpad/config.hpp"
+#include "scratchpad/counters.hpp"
+#include "sim/dma.hpp"
+#include "sim/system.hpp"
+
+namespace tlm::obs {
+
+// Flat, serializable view of sim::SimReport (plus optional DMA-engine
+// counters, which live outside System).
+struct SimCounters {
+  double seconds = 0;
+  std::uint64_t events = 0;
+  std::uint64_t far_reads = 0, far_writes = 0, far_bytes = 0;
+  std::uint64_t far_row_hits = 0, far_row_misses = 0;
+  std::uint64_t near_reads = 0, near_writes = 0, near_bytes = 0;
+  std::uint64_t l1_accesses = 0, l1_hits = 0, l1_fills = 0,
+                l1_writebacks = 0;
+  std::uint64_t l2_accesses = 0, l2_hits = 0, l2_fills = 0,
+                l2_writebacks = 0;
+  std::uint64_t noc_messages = 0, noc_bytes = 0;
+  std::uint64_t core_loads = 0, core_stores = 0;
+  double compute_ops = 0;
+  std::uint64_t barrier_epochs = 0;
+  std::uint64_t dma_descriptors = 0, dma_lines = 0, dma_bytes = 0;
+
+  static SimCounters from(const sim::SimReport& r);
+};
+
+struct RunRecord {
+  std::string name;  // e.g. "NMsort (8X)" or "nmsort.rho4"
+
+  bool has_config = false;
+  TwoLevelConfig config{};
+
+  bool has_counting = false;
+  MachineStats counting{};
+  std::uint64_t line_bytes = 64;  // granularity of the derived access counts
+
+  bool has_sim = false;
+  SimCounters sim{};
+
+  double wall_seconds = 0;  // host wall-clock of this record's run
+
+  std::map<std::string, std::uint64_t> counters;  // MetricsRegistry snapshot
+  std::map<std::string, double> gauges;
+
+  void set_config(const TwoLevelConfig& cfg);
+  void set_counting(const MachineStats& st, std::uint64_t line);
+  void set_sim(const sim::SimReport& r);
+  void set_dma(const sim::DmaStats& d);
+  void add_metrics(const MetricsRegistry& reg);
+};
+
+struct RunReport {
+  static constexpr std::uint64_t kSchemaVersion = 1;
+  static constexpr const char* kSchemaName = "tlm.run_report";
+
+  std::string benchmark;          // bench binary name
+  Json params = Json::object();   // CLI knobs the run was invoked with
+  double wall_seconds = 0;        // whole-invocation wall-clock
+  std::vector<RunRecord> runs;
+
+  RunReport() = default;
+  explicit RunReport(std::string benchmark_name)
+      : benchmark(std::move(benchmark_name)) {}
+
+  RunRecord& add_run(std::string name);
+
+  Json to_json() const;
+  static RunReport from_json(const Json& j);  // throws on schema violations
+
+  void write(const std::string& path) const;
+  static RunReport load(const std::string& path);
+};
+
+// Schema check without full deserialization: returns human-readable
+// problems, empty when `j` is a valid v1 run report. This is the
+// `report_diff --validate` and CI-smoke entry point.
+std::vector<std::string> validate_report(const Json& j);
+
+// Export counting/sim statistics into a registry as flat named counters and
+// gauges ("machine.far_bytes", "sim.l1_hits", ...) so ad-hoc instrumentation
+// and the built-in accounting land in one namespace.
+void export_stats(const MachineStats& st, std::uint64_t line_bytes,
+                  MetricsRegistry& reg);
+void export_stats(const sim::SimReport& r, MetricsRegistry& reg);
+
+}  // namespace tlm::obs

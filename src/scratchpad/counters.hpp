@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/math.hpp"
+
 namespace tlm {
 
 // One phase of an algorithm (e.g. "phase1.sort_chunks"). Byte counts are
@@ -39,6 +41,10 @@ struct PhaseStats {
   double compute_s = 0;
   double seconds = 0;
 
+  // Real wall-clock spent between begin_phase and end_phase on the host —
+  // the observability layer's timing, orthogonal to the modeled `seconds`.
+  double host_seconds = 0;
+
   std::uint64_t far_bytes() const { return far_read_bytes + far_write_bytes; }
   std::uint64_t near_bytes() const {
     return near_read_bytes + near_write_bytes;
@@ -59,6 +65,7 @@ struct PhaseStats {
     near_s += o.near_s;
     compute_s += o.compute_s;
     seconds += o.seconds;
+    host_seconds += o.host_seconds;
     return *this;
   }
 };
@@ -68,12 +75,13 @@ struct MachineStats {
   std::vector<PhaseStats> phases;  // in begin_phase order
 
   // Line-granularity access counts (64-byte lines unless configured
-  // otherwise) — the unit Table I reports.
+  // otherwise) — the unit Table I reports. A trailing partial line still
+  // costs an access, so the byte total rounds up.
   std::uint64_t far_accesses(std::uint64_t line_bytes) const {
-    return total.far_bytes() / line_bytes;
+    return ceil_div(total.far_bytes(), line_bytes);
   }
   std::uint64_t near_accesses(std::uint64_t line_bytes) const {
-    return total.near_bytes() / line_bytes;
+    return ceil_div(total.near_bytes(), line_bytes);
   }
 };
 

@@ -183,6 +183,7 @@ void Machine::parallel_for(
 void Machine::begin_phase(std::string name) {
   end_phase();
   open_phase_ = std::move(name);
+  phase_start_ = std::chrono::steady_clock::now();
 }
 
 void Machine::end_phase() {
@@ -190,6 +191,9 @@ void Machine::end_phase() {
   PhaseStats phase;
   phase.name = *open_phase_;
   fold_open_phase(phase);
+  phase.host_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - phase_start_)
+                           .count();
   // Skip phases in which nothing happened (e.g. the implicit "(run)" phase
   // of callers who structure everything explicitly).
   if (phase.far_bytes() || phase.near_bytes() || phase.compute_ops_total > 0) {
@@ -197,7 +201,10 @@ void Machine::end_phase() {
     stats_.phases.push_back(std::move(phase));
   }
   reset_accumulators();
-  open_phase_.reset();
+  // Fall back to the implicit phase so traffic charged after an explicit
+  // end_phase() still lands in stats() instead of being dropped silently.
+  open_phase_ = "(run)";
+  phase_start_ = std::chrono::steady_clock::now();
 }
 
 void Machine::fold_open_phase(PhaseStats& out) const {
@@ -235,6 +242,9 @@ MachineStats Machine::stats() const {
     PhaseStats phase;
     phase.name = *open_phase_ + " (open)";
     fold_open_phase(phase);
+    phase.host_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - phase_start_)
+                             .count();
     if (phase.far_bytes() || phase.near_bytes() ||
         phase.compute_ops_total > 0) {
       out.total += phase;

@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <barrier>
+#include <chrono>
 #include <cstddef>
 #include <map>
 #include <memory>
@@ -146,6 +147,8 @@ class Machine {
   std::atomic<std::uint64_t> barrier_id_{0};
 
   std::optional<std::string> open_phase_;
+  std::chrono::steady_clock::time_point phase_start_ =
+      std::chrono::steady_clock::now();
   MachineStats stats_;
 };
 

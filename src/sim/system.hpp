@@ -8,6 +8,7 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/cache.hpp"
@@ -55,6 +56,11 @@ struct SimReport {
   std::uint64_t barrier_epochs = 0;
   RunningStats access_latency;  // per-request round trip across all cores
   LogHistogram latency_hist;    // pooled distribution (p50/p95/p99)
+
+  // Flat named view of every counter above ("far.reads", "l1.hits",
+  // "noc.bytes", ...) — the export surface for the observability layer
+  // (obs::MetricsRegistry / run reports).
+  std::vector<std::pair<std::string, double>> counters() const;
 };
 
 class System {

@@ -17,7 +17,9 @@ void gnu_like_sort(Machine& m, std::span<T> data,
   TLM_REQUIRE(m.space_of(data.data()) == Space::Far,
               "the baseline sorts far-resident data");
   m.adopt_far(data.data(), data.size_bytes());
+  m.begin_phase("gnu.multiway_sort");
   multiway_merge_sort(m, data, opt, cmp);
+  m.end_phase();
 }
 
 }  // namespace tlm::sort

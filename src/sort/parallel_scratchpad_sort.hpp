@@ -157,7 +157,9 @@ void parallel_scratchpad_sort(Machine& m, std::span<T> data,
   const std::uint64_t usable = m.config().near_capacity - reserve;
   const std::uint64_t fit =
       std::max<std::uint64_t>(1024, usable / sizeof(T) / 2);
+  m.begin_phase("psp.sort");
   detail::psp_rec(m, data, opt, fit, 0, cmp);
+  m.end_phase();
 }
 
 }  // namespace tlm::sort

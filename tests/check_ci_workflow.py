@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Lints .github/workflows/ci.yml: parses it and asserts the job structure
+the repo depends on is present (gcc/clang x Debug/Release matrix, sanitizer
+job, bench-smoke job running the --json + report_diff pipeline).
+
+Run as a ctest; exits 77 (ctest SKIP_RETURN_CODE) when PyYAML is missing.
+"""
+import sys
+
+try:
+    import yaml
+except ImportError:
+    print("SKIP: PyYAML not available")
+    sys.exit(77)
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def steps_text(job):
+    return "\n".join(
+        str(s.get("run", "")) + " " + str(s.get("uses", ""))
+        for s in job.get("steps", [])
+    )
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else ".github/workflows/ci.yml"
+    with open(path) as f:
+        doc = yaml.safe_load(f)
+
+    if not isinstance(doc, dict):
+        fail("workflow is not a YAML mapping")
+    # PyYAML parses the unquoted key `on:` as boolean True.
+    if "on" not in doc and True not in doc:
+        fail("workflow has no trigger ('on:') block")
+    jobs = doc.get("jobs")
+    if not isinstance(jobs, dict):
+        fail("workflow has no jobs mapping")
+
+    for required in ("build-test", "sanitizers", "bench-smoke"):
+        if required not in jobs:
+            fail(f"missing job: {required}")
+
+    # build-test: gcc/clang x Debug/Release matrix with ccache + cache.
+    bt = jobs["build-test"]
+    matrix = bt.get("strategy", {}).get("matrix", {})
+    if sorted(matrix.get("compiler", [])) != ["clang", "gcc"]:
+        fail("build-test matrix must cover gcc and clang")
+    if sorted(matrix.get("build_type", [])) != ["Debug", "Release"]:
+        fail("build-test matrix must cover Debug and Release")
+    text = steps_text(bt)
+    for needle in ("ccache", "actions/cache", "cmake -B build", "ctest"):
+        if needle not in text:
+            fail(f"build-test steps must mention '{needle}'")
+
+    # sanitizers: ASan+UBSan everywhere, TSan on the threaded suites.
+    san = steps_text(jobs["sanitizers"])
+    for needle in (
+        "-fsanitize=address,undefined",
+        "-fsanitize=thread",
+        "test_sort_properties|test_multiway",
+    ):
+        if needle not in san:
+            fail(f"sanitizers steps must mention '{needle}'")
+
+    # bench-smoke: --json artifacts, schema validation, baseline diff,
+    # artifact upload.
+    smoke = steps_text(jobs["bench-smoke"])
+    for needle in (
+        "--json",
+        "report_diff --validate",
+        "bench/baselines/table1_quick.json",
+        "--warn-only",
+        "actions/upload-artifact",
+    ):
+        if needle not in smoke:
+            fail(f"bench-smoke steps must mention '{needle}'")
+
+    print(f"OK: {path} parses and has the expected job structure")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,7 +74,7 @@ TEST(MergeRunsCharged, ChargesReadsAndWritesOnce) {
   m.begin_phase("merge");
   merge_runs_charged(m, 0, as_runs(runs), out.data());
   m.end_phase();
-  const PhaseStats& ph = m.stats().phases.at(0);
+  const PhaseStats ph = m.stats().phases.at(0);
   EXPECT_EQ(ph.far_read_bytes, expect.size() * 8);
   EXPECT_EQ(ph.far_write_bytes, expect.size() * 8);
   EXPECT_GT(ph.compute_ops_total, static_cast<double>(expect.size()));

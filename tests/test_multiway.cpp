@@ -140,7 +140,7 @@ TEST(MultiwaySort, WorksInNearSpaceToo) {
   multiway_merge_sort(m, near);
   m.end_phase();
   EXPECT_TRUE(std::is_sorted(near.begin(), near.end()));
-  const auto& ph = m.stats().phases.at(0);
+  const auto ph = m.stats().phases.at(0);
   EXPECT_EQ(ph.far_bytes(), 0u);  // everything stayed in the scratchpad
   EXPECT_GT(ph.near_bytes(), n * 8 * 2);
   m.free_array(Space::Near, near);

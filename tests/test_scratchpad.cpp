@@ -127,9 +127,9 @@ TEST(Machine, TimeModelSerializedVsOverlap) {
   const double ts = serial.elapsed_seconds();
   const double to = overlap.elapsed_seconds();
   EXPECT_GT(ts, to);  // overlap can only help
-  const PhaseStats& ph = serial.stats().phases[0];
+  const PhaseStats ph = serial.stats().phases[0];
   EXPECT_NEAR(ph.seconds, ph.far_s + ph.near_s + ph.compute_s, 1e-15);
-  const PhaseStats& po = overlap.stats().phases[0];
+  const PhaseStats po = overlap.stats().phases[0];
   EXPECT_NEAR(po.seconds, std::max({po.far_s, po.near_s, po.compute_s}),
               1e-15);
 }
@@ -140,7 +140,7 @@ TEST(Machine, ComputeUsesPerThreadMax) {
   m.compute(0, 1000.0);
   m.compute(1, 4000.0);
   m.end_phase();
-  const PhaseStats& ph = m.stats().phases[0];
+  const PhaseStats ph = m.stats().phases[0];
   EXPECT_DOUBLE_EQ(ph.compute_ops_total, 5000.0);
   EXPECT_DOUBLE_EQ(ph.compute_ops_max, 4000.0);
   EXPECT_NEAR(ph.compute_s, 4000.0 / m.config().core_rate, 1e-18);
@@ -229,7 +229,7 @@ TEST(Machine, ConcurrentChargesConserveTotals) {
     }
   });
   m.end_phase();
-  const PhaseStats& ph = m.stats().phases.at(0);
+  const PhaseStats ph = m.stats().phases.at(0);
   EXPECT_EQ(ph.far_read_bytes, 8ull * kIters * 64);
   EXPECT_EQ(ph.far_write_bytes, 8ull * kIters * 32);
   EXPECT_EQ(ph.far_bursts, 8ull * kIters * 2);
@@ -258,7 +258,7 @@ TEST(Machine, StreamChargesWithoutMoving) {
   m.stream_write(0, far.data(), far.size_bytes());
   m.end_phase();
   EXPECT_EQ(far[0], 42u);
-  const PhaseStats& ph = m.stats().phases[0];
+  const PhaseStats ph = m.stats().phases[0];
   EXPECT_EQ(ph.far_read_bytes, 2048u);
   EXPECT_EQ(ph.far_write_bytes, 2048u);
 }

@@ -390,7 +390,7 @@ TEST(SortAccounting, NmsortFarTrafficIsTwoPassesPlusMetadata) {
   nm_sort_into(m, std::span<const std::uint64_t>(keys),
                std::span<std::uint64_t>(out));
   m.end_phase();
-  const auto& tot = m.stats().total;
+  const auto tot = m.stats().total;
   const std::uint64_t payload = n * 8;
   // Exactly two far read passes (input, runs area) and two write passes
   // (runs area, output) plus small metadata.
@@ -458,7 +458,7 @@ TEST(SortAccounting, SingleChunkFastPathUsesOnlyTwoFarPasses) {
                std::span<std::uint64_t>(out));
   m.end_phase();
   EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
-  const auto& tot = m.stats().total;
+  const auto tot = m.stats().total;
   EXPECT_LE(tot.far_read_bytes, n * 8 * 11 / 10);   // one read pass
   EXPECT_LE(tot.far_write_bytes, n * 8 * 11 / 10);  // one write pass
 }
