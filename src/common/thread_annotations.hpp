@@ -1,0 +1,98 @@
+// Clang thread-safety-analysis capability annotations, plus annotated mutex
+// wrappers the analysis can reason about.
+//
+// libstdc++'s std::mutex carries no capability attributes, so annotating a
+// member `GUARDED_BY(mu_)` does nothing useful with the raw type. tlm::Mutex
+// wraps std::mutex as a named capability and MutexLock/UniqueLock are the
+// scoped acquire/release tokens; clang then proves, at compile time, that
+// every access to a GUARDED_BY member happens under its mutex. On GCC (and
+// any compiler without the attributes) everything degrades to zero-cost
+// no-ops, so the wrappers are safe to use unconditionally.
+//
+// Convention: annotate shared *data* with TLM_GUARDED_BY, annotate functions
+// that expect the caller to hold the lock with TLM_REQUIRES. Clang builds
+// compile with -Wthread-safety -Werror=thread-safety (see the root
+// CMakeLists), so a violation is a build break, not a code-review nit.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define TLM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define TLM_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define TLM_CAPABILITY(x) TLM_THREAD_ANNOTATION(capability(x))
+#define TLM_SCOPED_CAPABILITY TLM_THREAD_ANNOTATION(scoped_lockable)
+#define TLM_GUARDED_BY(x) TLM_THREAD_ANNOTATION(guarded_by(x))
+#define TLM_PT_GUARDED_BY(x) TLM_THREAD_ANNOTATION(pt_guarded_by(x))
+#define TLM_ACQUIRED_BEFORE(...) \
+  TLM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define TLM_ACQUIRED_AFTER(...) \
+  TLM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define TLM_REQUIRES(...) \
+  TLM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define TLM_ACQUIRE(...) \
+  TLM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define TLM_RELEASE(...) \
+  TLM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TLM_TRY_ACQUIRE(...) \
+  TLM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TLM_EXCLUDES(...) TLM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define TLM_RETURN_CAPABILITY(x) TLM_THREAD_ANNOTATION(lock_returned(x))
+#define TLM_NO_THREAD_SAFETY_ANALYSIS \
+  TLM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace tlm {
+
+// std::mutex re-exported as a clang capability.
+class TLM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TLM_ACQUIRE() { mu_.lock(); }
+  void unlock() TLM_RELEASE() { mu_.unlock(); }
+  bool try_lock() TLM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // For std::condition_variable interop (via UniqueLock::native()).
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock token, the annotated equivalent of std::lock_guard.
+class TLM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TLM_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() TLM_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// RAII lock token usable with condition variables: cv.wait(lock.native()).
+// The analysis treats the capability as held across the wait, which is the
+// standard (and sound) convention — the predicate re-check after wakeup
+// happens with the lock re-acquired.
+class TLM_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) TLM_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~UniqueLock() TLM_RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace tlm

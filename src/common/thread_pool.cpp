@@ -11,7 +11,7 @@ ThreadPool::ThreadPool(std::size_t workers) : workers_(workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_start_.notify_all();
@@ -24,15 +24,20 @@ void ThreadPool::run_spmd(const std::function<void(std::size_t)>& fn) {
     return;
   }
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
+    TLM_CHECK(remaining_ == 0 && job_ == nullptr,
+              "run_spmd re-entered while a dispatch is in flight");
     job_ = &fn;
     remaining_ = workers_ - 1;
     ++epoch_;
   }
   cv_start_.notify_all();
   fn(0);
-  std::unique_lock lock(mu_);
-  cv_done_.wait(lock, [this] { return remaining_ == 0; });
+  // Explicit predicate loop (not the cv.wait(lock, pred) overload): the
+  // lambda form hides the remaining_ read from the thread-safety analysis,
+  // which checks lambda bodies as separate unannotated functions.
+  UniqueLock lock(mu_);
+  while (remaining_ != 0) cv_done_.wait(lock.native());
   job_ = nullptr;
 }
 
@@ -41,15 +46,17 @@ void ThreadPool::worker_loop(std::size_t id) {
   while (true) {
     const std::function<void(std::size_t)>* job = nullptr;
     {
-      std::unique_lock lock(mu_);
-      cv_start_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      UniqueLock lock(mu_);
+      while (!stop_ && epoch_ == seen) cv_start_.wait(lock.native());
       if (stop_) return;
       seen = epoch_;
       job = job_;
     }
+    // The pointee outlives the call: run_spmd keeps `fn` alive until this
+    // worker's decrement below, so the unlocked dereference is safe.
     (*job)(id);
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (--remaining_ == 0) cv_done_.notify_all();
     }
   }

@@ -9,11 +9,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace tlm {
 
@@ -51,13 +51,19 @@ class ThreadPool {
   std::size_t workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
+  // Dispatch protocol: run_spmd publishes {job_, remaining_, epoch_} under
+  // mu_ and wakes the workers; each worker copies the job pointer out under
+  // mu_, runs it unlocked (the pointee is the caller's function object, kept
+  // alive until every worker has decremented remaining_), and the last
+  // decrement wakes the caller. All four fields are mu_-protected; the
+  // thread-safety analysis enforces that no path reads them unlocked.
+  Mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::uint64_t epoch_ = 0;
-  std::size_t remaining_ = 0;
-  bool stop_ = false;
+  const std::function<void(std::size_t)>* job_ TLM_GUARDED_BY(mu_) = nullptr;
+  std::uint64_t epoch_ TLM_GUARDED_BY(mu_) = 0;
+  std::size_t remaining_ TLM_GUARDED_BY(mu_) = 0;
+  bool stop_ TLM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace tlm

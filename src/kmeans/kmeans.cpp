@@ -166,6 +166,8 @@ KMeansResult kmeans_near(Machine& m, std::span<const double> points,
 
   m.begin_phase("kmeans.stage");
   std::span<double> near = m.alloc_array<double>(Space::Near, points.size());
+  // The staged copy stays scratchpad-resident through the iterate phase.
+  m.retain_across_phases(near.data());
   m.run_spmd([&](std::size_t w) {
     auto [lo, hi] = ThreadPool::chunk(points.size(), w, m.threads());
     if (lo < hi)

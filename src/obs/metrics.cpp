@@ -6,7 +6,7 @@ MetricsRegistry::MetricsRegistry(std::size_t shards)
     : shards_(shards ? shards : 1) {}
 
 MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end())
     it = counters_
@@ -17,7 +17,7 @@ MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 MetricsRegistry::Timer& MetricsRegistry::timer(std::string_view name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = timers_.find(name);
   if (it == timers_.end())
     it = timers_
@@ -28,24 +28,24 @@ MetricsRegistry::Timer& MetricsRegistry::timer(std::string_view name) {
 }
 
 void MetricsRegistry::set_gauge(std::string_view name, double value) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   gauges_.insert_or_assign(std::string(name), value);
 }
 
 std::map<std::string, std::uint64_t> MetricsRegistry::counters() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, std::uint64_t> out;
   for (const auto& [k, c] : counters_) out.emplace(k, c->value());
   return out;
 }
 
 std::map<std::string, double> MetricsRegistry::gauges() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return {gauges_.begin(), gauges_.end()};
 }
 
 std::map<std::string, double> MetricsRegistry::timers_seconds() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, double> out;
   for (const auto& [k, t] : timers_) out.emplace(k, t->seconds());
   return out;

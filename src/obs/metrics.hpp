@@ -19,10 +19,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "common/thread_annotations.hpp"
 #include "obs/json.hpp"
 
 namespace tlm::obs {
@@ -111,10 +111,15 @@ class MetricsRegistry {
 
  private:
   std::size_t shards_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
-  std::map<std::string, double, std::less<>> gauges_;
+  // mu_ guards the name->metric maps only; the returned Counter/Timer
+  // objects are themselves lock-free (sharded atomics) and outlive the map
+  // entries, so hot-path updates never touch mu_.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      TLM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_
+      TLM_GUARDED_BY(mu_);
+  std::map<std::string, double, std::less<>> gauges_ TLM_GUARDED_BY(mu_);
 };
 
 }  // namespace tlm::obs

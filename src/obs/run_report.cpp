@@ -2,6 +2,10 @@
 
 #include <stdexcept>
 
+// tlm-lint: allow-file(counters-mutation): this is the JSON (de)serialization
+// boundary for PhaseStats — it reconstructs counters from reports, it does
+// not account traffic.
+
 namespace tlm::obs {
 
 namespace {

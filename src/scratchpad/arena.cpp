@@ -68,6 +68,15 @@ void NearArena::deallocate(std::byte* p) {
   free_.emplace(begin, len);
 }
 
+std::optional<std::pair<std::uint64_t, std::uint64_t>>
+NearArena::live_block_of(std::uint64_t off) const {
+  auto it = live_.upper_bound(off);
+  if (it == live_.begin()) return std::nullopt;
+  --it;
+  if (off >= it->first + it->second) return std::nullopt;
+  return std::make_pair(it->first, it->second);
+}
+
 std::uint64_t NearArena::offset_of(const void* p) const {
   TLM_REQUIRE(contains(p), "pointer is not inside the scratchpad");
   return static_cast<std::uint64_t>(static_cast<const std::byte*>(p) - base());

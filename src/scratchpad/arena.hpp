@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 
 namespace tlm {
 
@@ -42,6 +43,12 @@ class NearArena {
 
   // Offset of `p` inside the arena; used to derive trace virtual addresses.
   std::uint64_t offset_of(const void* p) const;
+
+  // The live allocation containing arena offset `off`, as {block_offset,
+  // block_length}, or nullopt when `off` falls in free space. The model
+  // sanitizer uses this to pin every near-side charge to one allocation.
+  std::optional<std::pair<std::uint64_t, std::uint64_t>> live_block_of(
+      std::uint64_t off) const;
 
   std::byte* base() { return base_; }
   const std::byte* base() const { return base_; }

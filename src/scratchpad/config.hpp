@@ -28,6 +28,15 @@ struct TwoLevelConfig {
   // matching the paper's prototype which "simply waits for the transfer".
   bool overlap_dma = false;
 
+  // Model-sanitizer strictness (only observed under TLM_CHECK_MODEL): when
+  // true, every cross-space copy() must start on a rho*B near-line boundary
+  // within its allocation and cover whole lines (a trailing partial line is
+  // allowed only at the end of the allocation). The shipped kernels gather
+  // variable-length runs at arbitrary near offsets — legal under the model,
+  // which charges ceil-rounded lines for partial transfers — so this is an
+  // opt-in audit mode for strictly line-structured pipelines, not a default.
+  bool strict_dma_lines = false;
+
   double near_bw() const { return rho * far_bw; }
   std::uint64_t near_block_bytes() const {
     return static_cast<std::uint64_t>(rho * static_cast<double>(block_bytes));

@@ -26,6 +26,7 @@ Machine::Machine(TwoLevelConfig cfg, trace::TraceSink* sink)
 
 Machine::~Machine() {
   // Release any far allocations the machine still owns.
+  MutexLock lock(alloc_mu_);
   for (auto& [base, region] : far_regions_) {
     if (region.owned)
       ::operator delete(const_cast<std::byte*>(base),
@@ -33,10 +34,24 @@ Machine::~Machine() {
   }
 }
 
-std::byte* Machine::alloc(Space s, std::uint64_t bytes, std::uint64_t align) {
+std::byte* Machine::alloc(Space s, std::uint64_t bytes, std::uint64_t align,
+                          std::source_location loc) {
   TLM_REQUIRE(bytes > 0, "zero-byte allocation");
-  std::lock_guard lock(alloc_mu_);
-  if (s == Space::Near) return arena_.allocate(bytes, align);
+  MutexLock lock(alloc_mu_);
+  if (s == Space::Near) {
+#if TLM_MODEL_CHECKS_ENABLED
+    check_capacity(bytes, loc);
+    std::byte* p = arena_.allocate(bytes, align);
+    shadow_near_.insert_or_assign(
+        arena_.offset_of(p),
+        ShadowNearAlloc{bytes, phase_epoch_, phase_is_explicit_,
+                        /*retained=*/false, open_phase_name(), loc});
+    return p;
+#else
+    (void)loc;
+    return arena_.allocate(bytes, align);
+#endif
+  }
   TLM_REQUIRE(align <= kFarAllocAlign, "far allocations are 64-byte aligned");
   auto* p = static_cast<std::byte*>(
       ::operator new(bytes, std::align_val_t{kFarAllocAlign}));
@@ -49,8 +64,11 @@ std::byte* Machine::alloc(Space s, std::uint64_t bytes, std::uint64_t align) {
 }
 
 void Machine::dealloc(Space s, std::byte* p) {
-  std::lock_guard lock(alloc_mu_);
+  MutexLock lock(alloc_mu_);
   if (s == Space::Near) {
+#if TLM_MODEL_CHECKS_ENABLED
+    shadow_near_.erase(arena_.offset_of(p));
+#endif
     arena_.deallocate(p);
     return;
   }
@@ -61,10 +79,21 @@ void Machine::dealloc(Space s, std::byte* p) {
   far_regions_.erase(it);
 }
 
+void Machine::retain_across_phases([[maybe_unused]] const void* p) {
+#if TLM_MODEL_CHECKS_ENABLED
+  TLM_REQUIRE(arena_.contains(p), "retain_across_phases takes near pointers");
+  MutexLock lock(alloc_mu_);
+  auto it = shadow_near_.find(arena_.offset_of(p));
+  TLM_REQUIRE(it != shadow_near_.end(),
+              "retain_across_phases: not a live allocation base");
+  it->second.retained = true;
+#endif
+}
+
 void Machine::adopt_far(const void* p, std::uint64_t bytes) {
   TLM_REQUIRE(p != nullptr && bytes > 0, "cannot adopt an empty region");
   TLM_REQUIRE(!arena_.contains(p), "near pointers are already registered");
-  std::lock_guard lock(alloc_mu_);
+  MutexLock lock(alloc_mu_);
   const auto* base = static_cast<const std::byte*>(p);
   auto it = far_regions_.find(base);
   if (it != far_regions_.end()) {
@@ -82,7 +111,7 @@ Space Machine::space_of(const void* p) const {
 
 std::uint64_t Machine::vaddr_of(const void* p) const {
   if (arena_.contains(p)) return trace::kNearBase + arena_.offset_of(p);
-  std::lock_guard lock(alloc_mu_);
+  MutexLock lock(alloc_mu_);
   const auto* b = static_cast<const std::byte*>(p);
   auto it = far_regions_.upper_bound(b);
   TLM_REQUIRE(it != far_regions_.begin(), "far pointer was never registered");
@@ -93,8 +122,14 @@ std::uint64_t Machine::vaddr_of(const void* p) const {
 }
 
 void Machine::charge_read(std::size_t thread, const void* p,
-                          std::uint64_t bytes) {
+                          std::uint64_t bytes,
+                          const std::source_location& loc) {
   TLM_CHECK(thread < acc_.size(), "thread id out of range");
+#if TLM_MODEL_CHECKS_ENABLED
+  check_charge(p, bytes, loc);
+#else
+  (void)loc;
+#endif
   auto& a = acc_[thread];
   if (space_of(p) == Space::Near) {
     a.near_read += bytes;
@@ -108,8 +143,14 @@ void Machine::charge_read(std::size_t thread, const void* p,
   if (sink_) sink_->on_read(thread, vaddr_of(p), bytes);
 }
 
-void Machine::charge_write(std::size_t thread, void* p, std::uint64_t bytes) {
+void Machine::charge_write(std::size_t thread, void* p, std::uint64_t bytes,
+                           const std::source_location& loc) {
   TLM_CHECK(thread < acc_.size(), "thread id out of range");
+#if TLM_MODEL_CHECKS_ENABLED
+  check_charge(p, bytes, loc);
+#else
+  (void)loc;
+#endif
   auto& a = acc_[thread];
   if (space_of(p) == Space::Near) {
     a.near_write += bytes;
@@ -124,20 +165,24 @@ void Machine::charge_write(std::size_t thread, void* p, std::uint64_t bytes) {
 }
 
 void Machine::copy(std::size_t thread, void* dst, const void* src,
-                   std::uint64_t bytes) {
+                   std::uint64_t bytes, std::source_location loc) {
   if (bytes == 0) return;
+#if TLM_MODEL_CHECKS_ENABLED
+  check_dma_granularity(dst, src, bytes, loc);
+#endif
   std::memmove(dst, src, bytes);
-  charge_read(thread, src, bytes);
-  charge_write(thread, dst, bytes);
+  charge_read(thread, src, bytes, loc);
+  charge_write(thread, dst, bytes, loc);
 }
 
 void Machine::stream_read(std::size_t thread, const void* p,
-                          std::uint64_t bytes) {
-  if (bytes) charge_read(thread, p, bytes);
+                          std::uint64_t bytes, std::source_location loc) {
+  if (bytes) charge_read(thread, p, bytes, loc);
 }
 
-void Machine::stream_write(std::size_t thread, void* p, std::uint64_t bytes) {
-  if (bytes) charge_write(thread, p, bytes);
+void Machine::stream_write(std::size_t thread, void* p, std::uint64_t bytes,
+                           std::source_location loc) {
+  if (bytes) charge_write(thread, p, bytes, loc);
 }
 
 void Machine::compute(std::size_t thread, double ops) {
@@ -183,11 +228,17 @@ void Machine::parallel_for(
 void Machine::begin_phase(std::string name) {
   end_phase();
   open_phase_ = std::move(name);
+#if TLM_MODEL_CHECKS_ENABLED
+  advance_phase_epoch(/*next_is_explicit=*/true);
+#endif
   phase_start_ = std::chrono::steady_clock::now();
 }
 
 void Machine::end_phase() {
   if (!open_phase_) return;
+#if TLM_MODEL_CHECKS_ENABLED
+  check_phase_end();
+#endif
   PhaseStats phase;
   phase.name = *open_phase_;
   fold_open_phase(phase);
@@ -204,8 +255,137 @@ void Machine::end_phase() {
   // Fall back to the implicit phase so traffic charged after an explicit
   // end_phase() still lands in stats() instead of being dropped silently.
   open_phase_ = "(run)";
+#if TLM_MODEL_CHECKS_ENABLED
+  advance_phase_epoch(/*next_is_explicit=*/false);
+#endif
   phase_start_ = std::chrono::steady_clock::now();
 }
+
+#if TLM_MODEL_CHECKS_ENABLED
+
+void Machine::check_capacity(std::uint64_t bytes,
+                             const std::source_location& loc) const {
+  if (arena_.used() + bytes <= arena_.capacity()) return;
+  model_check_fail(
+      model_rule::kCapacity, open_phase_name(),
+      "scratchpad allocation of " + std::to_string(bytes) +
+          " bytes would push occupancy to " +
+          std::to_string(arena_.used() + bytes) + " of M = " +
+          std::to_string(arena_.capacity()) + " bytes",
+      loc);
+}
+
+void Machine::check_charge(const void* p, std::uint64_t bytes,
+                           const std::source_location& loc) const {
+  // Line-rounded probes (galloping merge lookahead, sweep reads) may run a
+  // ragged tail past the end of a region; the model charges whole blocks
+  // for those anyway, so tolerate up to one far line of overshoot.
+  const std::uint64_t slack = cfg_.block_bytes;
+  if (arena_.contains(p)) {
+    const std::uint64_t off = arena_.offset_of(p);
+    MutexLock lock(alloc_mu_);
+    const auto block = arena_.live_block_of(off);
+    if (!block) {
+      model_check_fail(model_rule::kSpaceAttribution, open_phase_name(),
+                       "near charge of " + std::to_string(bytes) +
+                           " bytes at arena offset " + std::to_string(off) +
+                           " hits no live scratchpad allocation "
+                           "(freed or never allocated)",
+                       loc);
+    }
+    if (off + bytes > block->first + block->second + slack) {
+      model_check_fail(model_rule::kSpaceAttribution, open_phase_name(),
+                       "near charge of " + std::to_string(bytes) +
+                           " bytes at arena offset " + std::to_string(off) +
+                           " overruns its allocation [" +
+                           std::to_string(block->first) + ", " +
+                           std::to_string(block->first + block->second) + ")",
+                       loc);
+    }
+    return;
+  }
+  // Far charge: it must never claim DRAM cost for scratchpad-resident
+  // bytes...
+  const auto* b = static_cast<const std::byte*>(p);
+  const std::byte* arena_lo = arena_.base();
+  const std::byte* arena_hi = arena_lo + arena_.capacity();
+  if (b < arena_hi && b + bytes > arena_lo) {
+    model_check_fail(model_rule::kSpaceAttribution, open_phase_name(),
+                     "far charge of " + std::to_string(bytes) +
+                         " bytes overlaps the scratchpad — DRAM traffic "
+                         "charged for near-resident data",
+                     loc);
+  }
+  // ...and when it starts inside a registered far region it must stay
+  // inside it. Unregistered far pointers (plain heap the caller never
+  // adopted) are legal in counting-only runs and stay unchecked.
+  MutexLock lock(alloc_mu_);
+  auto it = far_regions_.upper_bound(b);
+  if (it == far_regions_.begin()) return;
+  --it;
+  if (b >= it->first + it->second.bytes) return;
+  if (b + bytes > it->first + it->second.bytes + slack) {
+    model_check_fail(model_rule::kSpaceAttribution, open_phase_name(),
+                     "far charge of " + std::to_string(bytes) +
+                         " bytes overruns its registered region of " +
+                         std::to_string(it->second.bytes) + " bytes",
+                     loc);
+  }
+}
+
+void Machine::check_dma_granularity(const void* dst, const void* src,
+                                    std::uint64_t bytes,
+                                    const std::source_location& loc) const {
+  if (!cfg_.strict_dma_lines) return;
+  const bool dst_near = arena_.contains(dst);
+  const bool src_near = arena_.contains(src);
+  if (dst_near == src_near) return;  // not a cross-space DMA
+  const void* nearp = dst_near ? dst : src;
+  const std::uint64_t line = cfg_.near_block_bytes();
+  const std::uint64_t off = arena_.offset_of(nearp);
+  MutexLock lock(alloc_mu_);
+  const auto block = arena_.live_block_of(off);
+  if (!block) return;  // attribution check reports this one
+  const std::uint64_t rel = off - block->first;
+  const bool aligned = rel % line == 0;
+  // Whole lines only, except a trailing partial line flush at the end of
+  // the allocation (the model ceil-rounds that to a full line anyway).
+  const bool whole =
+      bytes % line == 0 || rel + bytes >= block->second;
+  if (aligned && whole) return;
+  model_check_fail(
+      model_rule::kLineGranularity, open_phase_name(),
+      "cross-space copy of " + std::to_string(bytes) +
+          " bytes at line offset " + std::to_string(rel % line) +
+          " within its allocation is not rho*B-line granular (line = " +
+          std::to_string(line) + " bytes, strict_dma_lines = true)",
+      loc);
+}
+
+void Machine::check_phase_end() const {
+  MutexLock lock(alloc_mu_);
+  if (!phase_is_explicit_) return;  // implicit "(run)" phases are exempt
+  for (const auto& [off, a] : shadow_near_) {
+    if (a.phase_epoch != phase_epoch_ || a.retained) continue;
+    model_check_fail(
+        model_rule::kPhaseLeak, open_phase_name(),
+        "allocation of " + std::to_string(a.bytes) +
+            " bytes (arena offset " + std::to_string(off) +
+            ", allocated at " + std::string(a.site.file_name()) + ":" +
+            std::to_string(a.site.line()) +
+            ") is still live at end_phase(); free it or mark it with "
+            "retain_across_phases()",
+        a.site);
+  }
+}
+
+void Machine::advance_phase_epoch(bool next_is_explicit) {
+  MutexLock lock(alloc_mu_);
+  ++phase_epoch_;
+  phase_is_explicit_ = next_is_explicit;
+}
+
+#endif  // TLM_MODEL_CHECKS_ENABLED
 
 void Machine::fold_open_phase(PhaseStats& out) const {
   for (const auto& a : acc_) {

@@ -23,16 +23,18 @@
 #include <cstddef>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
+#include <source_location>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "scratchpad/arena.hpp"
 #include "scratchpad/config.hpp"
 #include "scratchpad/counters.hpp"
+#include "scratchpad/model_check.hpp"
 #include "scratchpad/space.hpp"
 #include "trace/sink.hpp"
 
@@ -51,18 +53,29 @@ class Machine {
   std::size_t threads() const { return cfg_.threads; }
 
   // ---- memory management -------------------------------------------------
-  std::byte* alloc(Space s, std::uint64_t bytes, std::uint64_t align = 64);
+  // The trailing source_location defaults capture the algorithm call site,
+  // which the model sanitizer echoes in its diagnostics.
+  std::byte* alloc(Space s, std::uint64_t bytes, std::uint64_t align = 64,
+                   std::source_location loc = std::source_location::current());
   void dealloc(Space s, std::byte* p);
 
   template <typename T>
-  std::span<T> alloc_array(Space s, std::size_t n) {
-    auto* p = alloc(s, n * sizeof(T), alignof(T) < 64 ? 64 : alignof(T));
+  std::span<T> alloc_array(
+      Space s, std::size_t n,
+      std::source_location loc = std::source_location::current()) {
+    auto* p = alloc(s, n * sizeof(T), alignof(T) < 64 ? 64 : alignof(T), loc);
     return {reinterpret_cast<T*>(p), n};
   }
   template <typename T>
   void free_array(Space s, std::span<T> a) {
     dealloc(s, reinterpret_cast<std::byte*>(a.data()));
   }
+
+  // Declares that a live near allocation intentionally spans explicit
+  // phases (e.g. NMsort's BucketTot matrix is "scratchpad-resident
+  // throughout"), exempting it from the sanitizer's model.phase_leak check.
+  // A no-op outside TLM_CHECK_MODEL builds.
+  void retain_across_phases(const void* p);
 
   // Registers an externally-owned far buffer (e.g. the caller's input array)
   // so traces can address it. Idempotent per base pointer.
@@ -74,10 +87,14 @@ class Machine {
   // ---- instrumented operations (callable from any worker thread) ---------
   // Moves bytes between spaces (memmove semantics) and charges both sides.
   void copy(std::size_t thread, void* dst, const void* src,
-            std::uint64_t bytes);
+            std::uint64_t bytes,
+            std::source_location loc = std::source_location::current());
   // Accounts for a streaming pass that reads/writes in place (no movement).
-  void stream_read(std::size_t thread, const void* p, std::uint64_t bytes);
-  void stream_write(std::size_t thread, void* p, std::uint64_t bytes);
+  void stream_read(std::size_t thread, const void* p, std::uint64_t bytes,
+                   std::source_location loc = std::source_location::current());
+  void stream_write(
+      std::size_t thread, void* p, std::uint64_t bytes,
+      std::source_location loc = std::source_location::current());
   // Charges `ops` units of computation to `thread`.
   void compute(std::size_t thread, double ops);
   // Full barrier across all p workers; also recorded in the trace.
@@ -122,8 +139,10 @@ class Machine {
     double ops = 0;
   };
 
-  void charge_read(std::size_t thread, const void* p, std::uint64_t bytes);
-  void charge_write(std::size_t thread, void* p, std::uint64_t bytes);
+  void charge_read(std::size_t thread, const void* p, std::uint64_t bytes,
+                   const std::source_location& loc);
+  void charge_write(std::size_t thread, void* p, std::uint64_t bytes,
+                    const std::source_location& loc);
   void fold_open_phase(PhaseStats& out) const;
   void reset_accumulators();
 
@@ -132,15 +151,49 @@ class Machine {
   NearArena arena_;
   trace::TraceSink* sink_;
 
-  mutable std::mutex alloc_mu_;
+  // alloc_mu_ guards the far registry, the arena's allocation maps (all
+  // allocate/deallocate calls happen under it), and the sanitizer shadow
+  // state. The hot charge path stays lock-free (per-thread accumulators);
+  // it only takes alloc_mu_ for trace vaddr resolution and model checks.
+  mutable Mutex alloc_mu_;
   // Far registry: host base -> (length, trace virtual base).
   struct FarRegion {
     std::uint64_t bytes;
     std::uint64_t vbase;
     bool owned;
   };
-  std::map<const std::byte*, FarRegion> far_regions_;
-  std::uint64_t next_far_vbase_ = trace::kFarBase;
+  std::map<const std::byte*, FarRegion> far_regions_ TLM_GUARDED_BY(alloc_mu_);
+  std::uint64_t next_far_vbase_ TLM_GUARDED_BY(alloc_mu_) = trace::kFarBase;
+
+#if TLM_MODEL_CHECKS_ENABLED
+  // Shadow per-allocation state for the model sanitizer: which phase an
+  // allocation was born in and where, so end_phase() can name leaks.
+  struct ShadowNearAlloc {
+    std::uint64_t bytes;
+    std::uint64_t phase_epoch;
+    bool born_in_explicit_phase;
+    bool retained;
+    std::string phase;
+    std::source_location site;
+  };
+  std::map<std::uint64_t, ShadowNearAlloc> shadow_near_
+      TLM_GUARDED_BY(alloc_mu_);  // keyed by arena offset
+  std::uint64_t phase_epoch_ TLM_GUARDED_BY(alloc_mu_) = 0;
+  bool phase_is_explicit_ TLM_GUARDED_BY(alloc_mu_) = false;
+
+  void check_capacity(std::uint64_t bytes, const std::source_location& loc)
+      const TLM_REQUIRES(alloc_mu_);
+  void check_charge(const void* p, std::uint64_t bytes,
+                    const std::source_location& loc) const;
+  void check_dma_granularity(const void* dst, const void* src,
+                             std::uint64_t bytes,
+                             const std::source_location& loc) const;
+  void check_phase_end() const;
+  void advance_phase_epoch(bool next_is_explicit);
+  std::string open_phase_name() const {
+    return open_phase_ ? *open_phase_ : "(none)";
+  }
+#endif
 
   std::vector<ThreadAcc> acc_;
   std::barrier<> barrier_;

@@ -176,14 +176,20 @@ void nm_sort_into(Machine& m, std::span<const T> input, std::span<T> output,
   m.begin_phase("nmsort.sample");
   std::span<T> pivots;
   if (npivots > 0) pivots = sample_pivots(m, 0, input, npivots, opt.seed, cmp);
+  // The pivots and bucket metadata are "scratchpad-resident throughout"
+  // (§III-B): they intentionally live across every later phase, so tell the
+  // model sanitizer they are not end-of-phase leaks.
+  if (!pivots.empty()) m.retain_across_phases(pivots.data());
 
   // Scratchpad-resident metadata.
   std::span<std::uint64_t> bucket_tot =
       m.alloc_array<std::uint64_t>(Space::Near, nb);
+  m.retain_across_phases(bucket_tot.data());
   std::fill(bucket_tot.begin(), bucket_tot.end(), 0);
   m.stream_write(0, bucket_tot.data(), bucket_tot.size_bytes());
   std::span<std::uint64_t> pos_row =
       m.alloc_array<std::uint64_t>(Space::Near, nb + 1);
+  m.retain_across_phases(pos_row.data());
 
   // Far-resident sorted-run area and BucketPos matrix (Fig. 2(d)).
   std::span<T> runs_area = m.alloc_array<T>(Space::Far, n);
@@ -252,12 +258,20 @@ void nm_sort_into(Machine& m, std::span<const T> input, std::span<T> output,
             pos_row[i] = pos;
           }
           const std::uint64_t line = m.config().block_bytes;
-          for (std::size_t j = 0; j < rs.size(); ++j)
-            m.stream_read(
-                w, sweep_from[j],
+          for (std::size_t j = 0; j < rs.size(); ++j) {
+            // Swept span plus one line of probe lookahead, clamped to the
+            // run: a sweep that starts at (or reaches) the run's end has
+            // nothing left to read, and charging past it would bill lines
+            // the sweep never touches — possibly outside the allocation.
+            const std::uint64_t swept =
                 static_cast<std::uint64_t>(prev[j] - sweep_from[j]) *
-                        sizeof(T) +
-                    line);
+                sizeof(T);
+            const std::uint64_t rest =
+                static_cast<std::uint64_t>(rs[j].end - sweep_from[j]) *
+                sizeof(T);
+            const std::uint64_t charge = std::min(swept + line, rest);
+            if (charge) m.stream_read(w, sweep_from[j], charge);
+          }
           m.compute(w, static_cast<double>(hi - lo) *
                            static_cast<double>(rs.size()) * 16.0);
         });

@@ -40,7 +40,14 @@ def main():
     if not isinstance(jobs, dict):
         fail("workflow has no jobs mapping")
 
-    for required in ("build-test", "sanitizers", "bench-smoke"):
+    for required in (
+        "build-test",
+        "sanitizers",
+        "bench-smoke",
+        "lint",
+        "clang-tidy",
+        "model-check",
+    ):
         if required not in jobs:
             fail(f"missing job: {required}")
 
@@ -56,15 +63,35 @@ def main():
         if needle not in text:
             fail(f"build-test steps must mention '{needle}'")
 
-    # sanitizers: ASan+UBSan everywhere, TSan on the threaded suites.
+    # sanitizers: ASan+UBSan everywhere, TSan on every `threaded`-labeled
+    # suite (the shared label is applied in tests/CMakeLists.txt).
     san = steps_text(jobs["sanitizers"])
     for needle in (
         "-fsanitize=address,undefined",
         "-fsanitize=thread",
-        "test_sort_properties|test_multiway",
+        "-L threaded",
     ):
         if needle not in san:
             fail(f"sanitizers steps must mention '{needle}'")
+
+    # lint: the project-invariant linter runs build-free.
+    lint = steps_text(jobs["lint"])
+    for needle in ("tools/tlm_lint.py", "check_ci_workflow.py"):
+        if needle not in lint:
+            fail(f"lint steps must mention '{needle}'")
+
+    # clang-tidy: compile database over library sources only.
+    tidy = steps_text(jobs["clang-tidy"])
+    for needle in ("TLM_BUILD_TESTS=OFF", "run-clang-tidy"):
+        if needle not in tidy:
+            fail(f"clang-tidy steps must mention '{needle}'")
+
+    # model-check: Debug build with the model sanitizer compiled in, full
+    # ctest run (including test_model_check's death tests).
+    model = steps_text(jobs["model-check"])
+    for needle in ("-DTLM_CHECK_MODEL=ON", "ctest"):
+        if needle not in model:
+            fail(f"model-check steps must mention '{needle}'")
 
     # bench-smoke: --json artifacts, schema validation, baseline diff,
     # artifact upload.

@@ -1,0 +1,216 @@
+// Negative tests for the TLM_CHECK_MODEL sanitizer: each one violates a §II
+// model invariant on purpose and asserts the right rule fires (by name, in
+// the abort diagnostic). Built only when the sanitizer is compiled in; the
+// ctest suite carries the same TLM_CHECK_MODEL gate.
+//
+// All machines here run single-threaded so the gtest death tests (which
+// fork) stay well-defined.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "scratchpad/machine.hpp"
+#include "sort/sort.hpp"
+
+#if !TLM_MODEL_CHECKS_ENABLED
+#error "test_model_check.cpp requires a TLM_CHECK_MODEL=ON build"
+#endif
+
+namespace tlm {
+namespace {
+
+TwoLevelConfig tiny(bool strict_dma = false) {
+  TwoLevelConfig c;
+  c.near_capacity = 1 * MiB;
+  c.rho = 4.0;  // near line = 256 bytes
+  c.threads = 1;
+  c.strict_dma_lines = strict_dma;
+  return c;
+}
+
+class ModelSanitizerDeath : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+// ---- model.capacity --------------------------------------------------------
+
+TEST_F(ModelSanitizerDeath, OverfillPastMFires) {
+  Machine m(tiny());
+  (void)m.alloc_array<std::uint64_t>(Space::Near, (1 * MiB / 8) / 2);
+  // The second allocation pushes occupancy past M: the sanitizer must abort
+  // before the arena gets a chance to throw.
+  EXPECT_DEATH(
+      (void)m.alloc_array<std::uint64_t>(Space::Near, (1 * MiB / 8) / 2 + 1),
+      "model\\.capacity");
+}
+
+TEST_F(ModelSanitizerDeath, CapacityDiagnosticNamesPhase) {
+  Machine m(tiny());
+  m.begin_phase("overfill-phase");
+  EXPECT_DEATH((void)m.alloc_array<std::uint64_t>(Space::Near, 1 * MiB),
+               "phase=overfill-phase");
+}
+
+TEST_F(ModelSanitizerDeath, FullOccupancyIsStillLegal) {
+  Machine m(tiny());
+  auto a = m.alloc_array<std::uint64_t>(Space::Near, 1 * MiB / 8);  // == M
+  m.free_array(Space::Near, a);
+  SUCCEED();
+}
+
+// ---- model.line_granularity ------------------------------------------------
+
+TEST_F(ModelSanitizerDeath, SubLineTransferFiresUnderStrictLines) {
+  Machine m(tiny(/*strict_dma=*/true));
+  auto near = m.alloc_array<std::uint64_t>(Space::Near, 1024);
+  auto far = m.alloc_array<std::uint64_t>(Space::Far, 1024);
+  // 8 bytes into a 256-byte near line: neither aligned nor whole-line.
+  EXPECT_DEATH(m.copy(0, near.data() + 1, far.data(), 8),
+               "model\\.line_granularity");
+}
+
+TEST_F(ModelSanitizerDeath, WholeLineTransfersPassUnderStrictLines) {
+  Machine m(tiny(/*strict_dma=*/true));
+  const std::uint64_t line = m.config().near_block_bytes();  // 256
+  // 1040 u64 = 32.5 near lines: a deliberately ragged tail.
+  auto near = m.alloc_array<std::uint64_t>(Space::Near, 1040);
+  auto far = m.alloc_array<std::uint64_t>(Space::Far, 1040);
+  m.copy(0, near.data(), far.data(), 4 * line);  // aligned whole lines
+  // Line-aligned transfer covering the ragged last half-line of the
+  // allocation: the model ceil-rounds it to a full line, so it is legal.
+  const std::uint64_t tail_elems = 1040 - 1024;
+  m.copy(0, near.data() + 1024, far.data() + 1024, tail_elems * 8);
+  // Near<->near staging is not a DMA; arbitrary offsets are fine.
+  m.copy(0, near.data() + 1, near.data() + 3, 8);
+  SUCCEED();
+}
+
+TEST_F(ModelSanitizerDeath, SubLineTransferAllowedWithoutStrictLines) {
+  Machine m(tiny(/*strict_dma=*/false));
+  auto near = m.alloc_array<std::uint64_t>(Space::Near, 1024);
+  auto far = m.alloc_array<std::uint64_t>(Space::Far, 1024);
+  m.copy(0, near.data() + 1, far.data(), 8);  // charged ceil-rounded, legal
+  SUCCEED();
+}
+
+// ---- model.phase_leak ------------------------------------------------------
+
+TEST_F(ModelSanitizerDeath, LeakAcrossEndPhaseFires) {
+  Machine m(tiny());
+  m.begin_phase("leaky");
+  (void)m.alloc_array<std::uint64_t>(Space::Near, 64);
+  EXPECT_DEATH(m.end_phase(), "model\\.phase_leak");
+}
+
+TEST_F(ModelSanitizerDeath, LeakDiagnosticNamesPhase) {
+  Machine m(tiny());
+  m.begin_phase("leaky");
+  (void)m.alloc_array<std::uint64_t>(Space::Near, 64);
+  EXPECT_DEATH(m.end_phase(), "phase=leaky");
+}
+
+TEST_F(ModelSanitizerDeath, RetainAcrossPhasesSuppressesLeak) {
+  Machine m(tiny());
+  m.begin_phase("setup");
+  auto meta = m.alloc_array<std::uint64_t>(Space::Near, 64);
+  m.retain_across_phases(meta.data());
+  m.begin_phase("work");  // closes "setup" with meta still live
+  m.end_phase();
+  m.free_array(Space::Near, meta);
+  SUCCEED();
+}
+
+TEST_F(ModelSanitizerDeath, FreeBeforeEndPhaseIsClean) {
+  Machine m(tiny());
+  m.begin_phase("tidy");
+  auto buf = m.alloc_array<std::uint64_t>(Space::Near, 64);
+  m.free_array(Space::Near, buf);
+  m.end_phase();
+  SUCCEED();
+}
+
+TEST_F(ModelSanitizerDeath, ImplicitPhaseMayHoldAllocations) {
+  Machine m(tiny());
+  // Allocations born outside explicit phases are exempt — the implicit
+  // "(run)" phase is bookkeeping, not an algorithmic phase boundary.
+  auto buf = m.alloc_array<std::uint64_t>(Space::Near, 64);
+  m.begin_phase("p");
+  m.end_phase();
+  m.free_array(Space::Near, buf);
+  SUCCEED();
+}
+
+// ---- model.space_attribution -----------------------------------------------
+
+TEST_F(ModelSanitizerDeath, ChargeOnFreedNearBlockFires) {
+  Machine m(tiny());
+  auto buf = m.alloc_array<std::uint64_t>(Space::Near, 64);
+  std::uint64_t* p = buf.data();
+  m.free_array(Space::Near, buf);
+  EXPECT_DEATH(m.stream_read(0, p, 8), "model\\.space_attribution");
+}
+
+TEST_F(ModelSanitizerDeath, NearChargeOverrunningAllocationFires) {
+  Machine m(tiny());
+  auto buf = m.alloc_array<std::uint64_t>(Space::Near, 64);
+  // 512 + 64 bytes of charge against a 512-byte allocation: past even the
+  // one-line probe slack.
+  EXPECT_DEATH(m.stream_read(0, buf.data(), buf.size_bytes() + 512),
+               "model\\.space_attribution");
+}
+
+TEST_F(ModelSanitizerDeath, FarChargeOverrunningRegionFires) {
+  Machine m(tiny());
+  std::vector<std::uint64_t> ext(64);
+  m.adopt_far(ext.data(), ext.size() * 8);
+  EXPECT_DEATH(m.stream_read(0, ext.data(), 4096), "model\\.space_attribution");
+}
+
+TEST_F(ModelSanitizerDeath, UnregisteredFarChargeIsLegal) {
+  Machine m(tiny());
+  std::vector<std::uint64_t> plain(64);
+  m.stream_read(0, plain.data(), plain.size() * 8);  // counting-only far use
+  SUCCEED();
+}
+
+// ---- sanitized end-to-end runs ---------------------------------------------
+// The shipped kernels must be model-clean: run them under the sanitizer.
+
+TEST(ModelSanitizerClean, NmSortConforms) {
+  TwoLevelConfig c = tiny();
+  c.threads = 2;
+  Machine m(c);
+  std::vector<std::uint64_t> keys(200'000), out(keys.size());
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (auto& k : keys) k = x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+  sort::nm_sort_into(m, std::span<const std::uint64_t>(keys),
+                     std::span<std::uint64_t>(out));
+  m.end_phase();
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(ModelSanitizerClean, ScratchpadSortConforms) {
+  TwoLevelConfig c = tiny();
+  c.threads = 2;
+  Machine m(c);
+  std::vector<std::uint64_t> keys(100'000);
+  std::uint64_t x = 88172645463325252ULL;
+  for (auto& k : keys) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    k = x;
+  }
+  sort::scratchpad_sort(m, std::span<std::uint64_t>(keys));
+  m.end_phase();
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+}  // namespace
+}  // namespace tlm

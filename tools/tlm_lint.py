@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""tlm-lint: project-invariant linter for the two-level-memory codebase.
+
+The compiler cannot see the §II cost model, so these invariants are enforced
+textually over src/:
+
+  raw-thread         No std::thread / std::jthread / std::async / pthread
+                     spawns outside src/common/thread_pool.* — all
+                     parallelism flows through ThreadPool so thread id <->
+                     simulated core id stays a stable mapping.
+  raw-alloc          No new[] / malloc-family / make_unique<T[]> data
+                     buffers in src/sort or src/kmeans — kernel memory comes
+                     from Machine::alloc_array so the Arena/Machine
+                     accounting sees it.
+  unaccounted-buffer No element-count-sized std::vector data buffers in
+                     src/sort kernels (metadata-sized vectors are fine);
+                     an O(n) vector bypasses both spaces' accounting.
+  counters-mutation  No direct writes to PhaseStats traffic/compute fields
+                     outside src/scratchpad — counters are owned by the
+                     Machine's charge paths.
+  banned-function    rand/srand (seeded runs must be reproducible via
+                     common/rng.hpp), sprintf/strcpy/strcat/strtok/gets.
+  include-hygiene    #pragma once in headers, no "../" includes, no
+                     <bits/...> internals, quoted includes must resolve
+                     under src/.
+
+Escape hatches (always give a reason after a colon):
+
+  // tlm-lint: allow(<rule>): why            -- this line or the next line
+  // tlm-lint: allow-file(<rule>): why       -- whole file
+
+Usage: tlm_lint.py [--root REPO_ROOT] [--list-rules]
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+CXX_EXTENSIONS = (".hpp", ".cpp", ".h", ".cc")
+
+ALLOW_LINE = re.compile(r"//\s*tlm-lint:\s*allow\(([a-z-]+)\)")
+ALLOW_FILE = re.compile(r"//\s*tlm-lint:\s*allow-file\(([a-z-]+)\)")
+
+# PhaseStats fields the Machine's charge/fold paths own.
+COUNTER_FIELDS = (
+    "far_read_bytes|far_write_bytes|near_read_bytes|near_write_bytes|"
+    "far_blocks|near_blocks|far_bursts|near_bursts|"
+    "compute_ops_total|compute_ops_max|host_seconds"
+)
+
+RE_RAW_THREAD = re.compile(r"\bstd::(thread|jthread|async)\b|\bpthread_create\b")
+RE_RAW_ALLOC = re.compile(
+    r"\bnew\s+[A-Za-z_][\w:<>, ]*\[|"
+    r"(?<![\w:])(malloc|calloc|realloc|aligned_alloc)\s*\(|"
+    r"\bmake_unique\s*<[^;()]*\[\]\s*>"
+)
+RE_VECTOR_DECL = re.compile(
+    r"\bstd::vector\s*<[^;{}]*>\s+\w+\s*[({]([^;{}]*)[)}]"
+)
+RE_VECTOR_SIZE_CALL = re.compile(r"\.(resize|reserve|assign)\s*\(([^;]*)\)")
+RE_BARE_N = re.compile(r"(?<![\w.])n(?![\w(])")
+RE_COUNTER_WRITE = re.compile(
+    r"[.>](" + COUNTER_FIELDS + r")\s*(=(?!=)|\+=|-=|\*=|/=|\+\+|--)"
+)
+RE_BANNED = re.compile(
+    r"(?<![\w:.])(rand|srand|sprintf|vsprintf|strcpy|strcat|strtok|gets)\s*\("
+)
+RE_INCLUDE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
+
+# Matches string/char literals and comments so content rules don't fire on
+# prose. Order matters: literals first, then comments.
+RE_SCRUB = re.compile(
+    r'"(?:\\.|[^"\\])*"' r"|'(?:\\.|[^'\\])*'" r"|//[^\n]*" r"|/\*.*?\*/",
+    re.S,
+)
+
+
+def scrub(line):
+    """Blanks literals and comments, preserving length and tlm-lint tags."""
+    def repl(m):
+        text = m.group(0)
+        if "tlm-lint" in text:
+            return text
+        return " " * len(text)
+
+    return RE_SCRUB.sub(repl, line)
+
+
+def rel(path, root):
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = root
+        self.src = os.path.join(root, "src")
+        self.findings = []
+
+    def report(self, path, lineno, rule, msg, lines, file_allows):
+        if rule in file_allows:
+            return
+        for probe in (lineno - 1, lineno - 2):  # this line or the one above
+            if 0 <= probe < len(lines):
+                m = ALLOW_LINE.search(lines[probe])
+                if m and m.group(1) == rule:
+                    return
+        self.findings.append(
+            f"{rel(path, self.root)}:{lineno}: [{rule}] {msg}")
+
+    def lint_file(self, path):
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw = f.read()
+        lines = raw.splitlines()
+        scrubbed = [scrub(l) for l in lines]
+        file_allows = {m.group(1) for m in ALLOW_FILE.finditer(raw)}
+        rp = rel(path, self.root)
+
+        in_thread_pool = rp.startswith("src/common/thread_pool.")
+        in_scratchpad = rp.startswith("src/scratchpad/")
+        in_sort = rp.startswith("src/sort/")
+        in_kernels = in_sort or rp.startswith("src/kmeans/")
+
+        if path.endswith((".hpp", ".h")) and "#pragma once" not in raw:
+            self.report(path, 1, "include-hygiene",
+                        "header lacks #pragma once", lines, file_allows)
+
+        for i, line in enumerate(scrubbed, start=1):
+            inc = RE_INCLUDE.match(lines[i - 1])
+            if inc:
+                style, target = inc.group(1), inc.group(2)
+                if target.startswith("bits/"):
+                    self.report(path, i, "include-hygiene",
+                                f"libstdc++ internal header <{target}>",
+                                lines, file_allows)
+                if style == '"':
+                    if ".." in target.split("/"):
+                        self.report(path, i, "include-hygiene",
+                                    f'relative include "{target}" — use a '
+                                    "src-rooted path", lines, file_allows)
+                    elif rp.startswith("src/") and not os.path.exists(
+                            os.path.join(self.src, target)):
+                        self.report(path, i, "include-hygiene",
+                                    f'include "{target}" does not resolve '
+                                    "under src/", lines, file_allows)
+                continue  # an #include line can't trip the content rules
+
+            if not in_thread_pool and RE_RAW_THREAD.search(line):
+                self.report(path, i, "raw-thread",
+                            "raw thread primitive — parallelism must go "
+                            "through ThreadPool", lines, file_allows)
+
+            if in_kernels and RE_RAW_ALLOC.search(line):
+                self.report(path, i, "raw-alloc",
+                            "raw buffer allocation bypasses Machine/Arena "
+                            "accounting — use Machine::alloc_array",
+                            lines, file_allows)
+
+            if in_sort:
+                for m in RE_VECTOR_DECL.finditer(line):
+                    if RE_BARE_N.search(m.group(1)):
+                        self.report(
+                            path, i, "unaccounted-buffer",
+                            "std::vector sized by the element count `n` "
+                            "bypasses two-level accounting — stage it "
+                            "through Machine::alloc_array",
+                            lines, file_allows)
+                for m in RE_VECTOR_SIZE_CALL.finditer(line):
+                    if RE_BARE_N.search(m.group(2)):
+                        self.report(
+                            path, i, "unaccounted-buffer",
+                            f".{m.group(1)}() sized by the element count "
+                            "`n` bypasses two-level accounting",
+                            lines, file_allows)
+
+            if not in_scratchpad and RE_COUNTER_WRITE.search(line):
+                self.report(path, i, "counters-mutation",
+                            "direct write to a PhaseStats counter field — "
+                            "counters are owned by src/scratchpad",
+                            lines, file_allows)
+
+            if RE_BANNED.search(line):
+                name = RE_BANNED.search(line).group(1)
+                self.report(path, i, "banned-function",
+                            f"banned function {name}()", lines, file_allows)
+
+    def run(self):
+        for dirpath, _, filenames in os.walk(self.src):
+            for fn in sorted(filenames):
+                if fn.endswith(CXX_EXTENSIONS):
+                    self.lint_file(os.path.join(dirpath, fn))
+        return self.findings
+
+
+RULES = [
+    "raw-thread", "raw-alloc", "unaccounted-buffer", "counters-mutation",
+    "banned-function", "include-hygiene",
+]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for r in RULES:
+            print(r)
+        return 0
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"tlm-lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    findings = Linter(root).run()
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"tlm-lint: {len(findings)} finding(s)")
+        return 1
+    print("tlm-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
