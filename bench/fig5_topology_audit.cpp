@@ -61,8 +61,8 @@ int audit(double rho, std::size_t cores, bool replay) {
   ok &= check("trace cores (Ariel)", inv.cores, cores);
   ok &= check("private L1 caches", inv.l1s, cores);
   ok &= check("shared L2 caches", inv.l2s, cores / 4);
-  ok &= check("NoC endpoints (groups + 2 DCs)", inv.noc_endpoints,
-              cores / 4 + 2);
+  ok &= check("NoC endpoints (groups + 2 DCs + DMA)", inv.noc_endpoints,
+              cores / 4 + 3);
   ok &= check("far DRAM channels", inv.far_channels, 4);
   ok &= check("near scratchpad channels", inv.near_channels,
               static_cast<std::size_t>(4 * rho));

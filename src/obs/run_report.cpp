@@ -21,11 +21,18 @@ Json phase_to_json(const PhaseStats& p, bool with_name) {
   j["near_blocks"] = p.near_blocks;
   j["far_bursts"] = p.far_bursts;
   j["near_bursts"] = p.near_bursts;
+  j["dma_far_bytes"] = p.dma_far_bytes;
+  j["dma_near_bytes"] = p.dma_near_bytes;
+  j["dma_far_bursts"] = p.dma_far_bursts;
+  j["dma_near_bursts"] = p.dma_near_bursts;
+  j["partition_splits"] = p.partition_splits;
+  j["partition_imbalance_max"] = p.partition_imbalance_max;
   j["compute_ops_total"] = p.compute_ops_total;
   j["compute_ops_max"] = p.compute_ops_max;
   j["far_s"] = p.far_s;
   j["near_s"] = p.near_s;
   j["compute_s"] = p.compute_s;
+  j["dma_s"] = p.dma_s;
   j["seconds"] = p.seconds;
   j["host_seconds"] = p.host_seconds;
   return j;
@@ -42,11 +49,18 @@ PhaseStats phase_from_json(const Json& j) {
   p.near_blocks = j.get_u64("near_blocks", 0);
   p.far_bursts = j.get_u64("far_bursts", 0);
   p.near_bursts = j.get_u64("near_bursts", 0);
+  p.dma_far_bytes = j.get_u64("dma_far_bytes", 0);
+  p.dma_near_bytes = j.get_u64("dma_near_bytes", 0);
+  p.dma_far_bursts = j.get_u64("dma_far_bursts", 0);
+  p.dma_near_bursts = j.get_u64("dma_near_bursts", 0);
+  p.partition_splits = j.get_u64("partition_splits", 0);
+  p.partition_imbalance_max = j.get_f64("partition_imbalance_max", 0);
   p.compute_ops_total = j.get_f64("compute_ops_total", 0);
   p.compute_ops_max = j.get_f64("compute_ops_max", 0);
   p.far_s = j.get_f64("far_s", 0);
   p.near_s = j.get_f64("near_s", 0);
   p.compute_s = j.get_f64("compute_s", 0);
+  p.dma_s = j.get_f64("dma_s", 0);
   p.seconds = j.get_f64("seconds", 0);
   p.host_seconds = j.get_f64("host_seconds", 0);
   return p;
@@ -201,6 +215,9 @@ SimCounters SimCounters::from(const sim::SimReport& r) {
   s.core_stores = r.core_stores;
   s.compute_ops = r.compute_ops;
   s.barrier_epochs = r.barrier_epochs;
+  s.dma_descriptors = r.dma.descriptors;
+  s.dma_lines = r.dma.lines;
+  s.dma_bytes = r.dma.bytes;
   return s;
 }
 
@@ -216,12 +233,16 @@ void RunRecord::set_counting(const MachineStats& st, std::uint64_t line) {
 }
 
 void RunRecord::set_sim(const sim::SimReport& r) {
-  // Preserve DMA counters a prior set_dma() call may have attached.
+  // The report carries the system DMA engine's counters; if it saw no DMA
+  // traffic, preserve counters a prior set_dma() call may have attached
+  // (benches that drive a standalone engine).
   const SimCounters dma_keep = sim;
   sim = SimCounters::from(r);
-  sim.dma_descriptors = dma_keep.dma_descriptors;
-  sim.dma_lines = dma_keep.dma_lines;
-  sim.dma_bytes = dma_keep.dma_bytes;
+  if (sim.dma_descriptors == 0 && sim.dma_lines == 0 && sim.dma_bytes == 0) {
+    sim.dma_descriptors = dma_keep.dma_descriptors;
+    sim.dma_lines = dma_keep.dma_lines;
+    sim.dma_bytes = dma_keep.dma_bytes;
+  }
   has_sim = true;
 }
 
@@ -454,8 +475,15 @@ void export_stats(const MachineStats& st, std::uint64_t line_bytes,
   reg.counter("machine.near_bursts").add(t.near_bursts);
   reg.counter("machine.far_accesses").add(st.far_accesses(line_bytes));
   reg.counter("machine.near_accesses").add(st.near_accesses(line_bytes));
+  reg.counter("machine.dma_far_bytes").add(t.dma_far_bytes);
+  reg.counter("machine.dma_near_bytes").add(t.dma_near_bytes);
+  reg.counter("machine.dma_bursts")
+      .add(t.dma_far_bursts + t.dma_near_bursts);
+  reg.counter("machine.partition_splits").add(t.partition_splits);
+  reg.set_gauge("machine.partition_imbalance_max", t.partition_imbalance_max);
   reg.set_gauge("machine.compute_ops_total", t.compute_ops_total);
   reg.set_gauge("machine.modeled_seconds", t.seconds);
+  reg.set_gauge("machine.dma_seconds", t.dma_s);
   reg.set_gauge("machine.host_seconds", t.host_seconds);
 }
 

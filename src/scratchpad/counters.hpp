@@ -32,6 +32,21 @@ struct PhaseStats {
   std::uint64_t far_bursts = 0;
   std::uint64_t near_bursts = 0;
 
+  // The slice of the traffic above that was issued as DMA descriptors
+  // (Machine::dma_copy) rather than core loads/stores. Under `overlap_dma`
+  // only this slice runs in the background engine and overlaps with core
+  // work (§VI-B); the split is what makes the overlap model honest.
+  std::uint64_t dma_far_bytes = 0;
+  std::uint64_t dma_near_bytes = 0;
+  std::uint64_t dma_far_bursts = 0;
+  std::uint64_t dma_near_bursts = 0;
+
+  // Merge-partition balance: how many k-way partitions were computed in
+  // this phase, and the worst observed (max slice / ideal slice) ratio —
+  // 1.0 means every thread got an exactly even share of the merge.
+  std::uint64_t partition_splits = 0;
+  double partition_imbalance_max = 0;
+
   double compute_ops_total = 0;
   double compute_ops_max = 0;
 
@@ -39,6 +54,7 @@ struct PhaseStats {
   double far_s = 0;
   double near_s = 0;
   double compute_s = 0;
+  double dma_s = 0;  // background DMA engine busy time (overlap model)
   double seconds = 0;
 
   // Real wall-clock spent between begin_phase and end_phase on the host —
@@ -49,6 +65,7 @@ struct PhaseStats {
   std::uint64_t near_bytes() const {
     return near_read_bytes + near_write_bytes;
   }
+  std::uint64_t dma_bytes() const { return dma_far_bytes + dma_near_bytes; }
 
   PhaseStats& operator+=(const PhaseStats& o) {
     far_read_bytes += o.far_read_bytes;
@@ -59,11 +76,21 @@ struct PhaseStats {
     near_blocks += o.near_blocks;
     far_bursts += o.far_bursts;
     near_bursts += o.near_bursts;
+    dma_far_bytes += o.dma_far_bytes;
+    dma_near_bytes += o.dma_near_bytes;
+    dma_far_bursts += o.dma_far_bursts;
+    dma_near_bursts += o.dma_near_bursts;
+    partition_splits += o.partition_splits;
+    partition_imbalance_max =
+        partition_imbalance_max > o.partition_imbalance_max
+            ? partition_imbalance_max
+            : o.partition_imbalance_max;
     compute_ops_total += o.compute_ops_total;
     compute_ops_max += o.compute_ops_max;
     far_s += o.far_s;
     near_s += o.near_s;
     compute_s += o.compute_s;
+    dma_s += o.dma_s;
     seconds += o.seconds;
     host_seconds += o.host_seconds;
     return *this;

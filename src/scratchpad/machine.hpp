@@ -89,6 +89,15 @@ class Machine {
   void copy(std::size_t thread, void* dst, const void* src,
             std::uint64_t bytes,
             std::source_location loc = std::source_location::current());
+  // Like copy(), but the transfer is posted to the DMA engine instead of
+  // being driven by the core (§VI-B): the issuing thread continues, and the
+  // next barrier (sync()/run_spmd() join) is the completion fence. Under
+  // `overlap_dma` the time model runs this traffic on a background engine
+  // concurrent with core work, and the trace records a DmaCopy descriptor
+  // that sim::System routes to its DmaEngine.
+  void dma_copy(std::size_t thread, void* dst, const void* src,
+                std::uint64_t bytes,
+                std::source_location loc = std::source_location::current());
   // Accounts for a streaming pass that reads/writes in place (no movement).
   void stream_read(std::size_t thread, const void* p, std::uint64_t bytes,
                    std::source_location loc = std::source_location::current());
@@ -97,6 +106,11 @@ class Machine {
       std::source_location loc = std::source_location::current());
   // Charges `ops` units of computation to `thread`.
   void compute(std::size_t thread, double ops);
+  // Records the balance of a k-way merge partition: `max_slice` is the
+  // largest slice handed to any part, `total`/`parts` the ideal share.
+  // Feeds the phase's partition_splits / partition_imbalance_max counters.
+  void note_partition(std::size_t thread, std::size_t parts,
+                      std::uint64_t max_slice, std::uint64_t total);
   // Full barrier across all p workers; also recorded in the trace.
   void sync(std::size_t thread);
 
@@ -136,13 +150,17 @@ class Machine {
     std::uint64_t near_read = 0, near_write = 0;
     std::uint64_t far_blocks = 0, near_blocks = 0;
     std::uint64_t far_bursts = 0, near_bursts = 0;
+    std::uint64_t dma_far = 0, dma_near = 0;
+    std::uint64_t dma_far_bursts = 0, dma_near_bursts = 0;
+    std::uint64_t partition_splits = 0;
+    double partition_imbalance = 0;
     double ops = 0;
   };
 
   void charge_read(std::size_t thread, const void* p, std::uint64_t bytes,
-                   const std::source_location& loc);
+                   const std::source_location& loc, bool via_dma = false);
   void charge_write(std::size_t thread, void* p, std::uint64_t bytes,
-                    const std::source_location& loc);
+                    const std::source_location& loc, bool via_dma = false);
   void fold_open_phase(PhaseStats& out) const;
   void reset_accumulators();
 

@@ -2,6 +2,7 @@
 
 #include "common/assert.hpp"
 #include "common/math.hpp"
+#include "sim/dma.hpp"
 
 namespace tlm::sim {
 
@@ -19,13 +20,14 @@ void BarrierController::arrive(Simulator& sim, std::uint64_t id,
 
 TraceCore::TraceCore(Simulator& sim, CoreConfig cfg, std::size_t id,
                      const std::vector<trace::TraceOp>* stream, MemPort* l1,
-                     BarrierController* barrier)
+                     BarrierController* barrier, DmaEngine* dma)
     : sim_(sim),
       cfg_(cfg),
       id_(id),
       stream_(stream),
       l1_(l1),
-      barrier_(barrier) {
+      barrier_(barrier),
+      dma_(dma) {
   TLM_REQUIRE(stream_ != nullptr && l1_ != nullptr && barrier_ != nullptr,
               "core is missing a connection");
   TLM_REQUIRE(cfg_.max_outstanding >= 1, "need at least one outstanding slot");
@@ -66,9 +68,38 @@ void TraceCore::step() {
       issue_lines();
       return;
     }
+    case trace::OpKind::DmaCopy: {
+      TLM_REQUIRE(dma_ != nullptr,
+                  "trace contains DMA descriptors but this core has no "
+                  "engine attached");
+      // Post the descriptor and keep going: the engine streams the lines in
+      // the background and the core's next barrier is the completion fence.
+      // Elements are not naturally line-aligned, so widen to line bounds
+      // (the same rounding a Read/Write burst applies via round_down).
+      const std::uint64_t src = round_down(op.src, cfg_.line_bytes);
+      const std::uint64_t dst = round_down(op.addr, cfg_.line_bytes);
+      const std::uint64_t src_end = op.src + op.bytes;
+      const std::uint64_t bytes =
+          ceil_div(src_end - src, static_cast<std::uint64_t>(cfg_.line_bytes)) *
+          cfg_.line_bytes;
+      ++stats_.dmas;
+      ++dma_pending_;
+      dma_->copy(src, dst, bytes, [this] {
+        TLM_CHECK(dma_pending_ > 0, "DMA completion with nothing pending");
+        --dma_pending_;
+        if (waiting_barrier_ && outstanding_ == 0 && dma_pending_ == 0) {
+          waiting_barrier_ = false;
+          const trace::TraceOp& bop = (*stream_)[op_];
+          ++stats_.barriers;
+          barrier_->arrive(sim_, bop.addr, [this] { advance(); });
+        }
+      });
+      advance();
+      return;
+    }
     case trace::OpKind::Barrier: {
-      if (outstanding_ > 0) {
-        // Drain in-flight accesses before the rendezvous.
+      if (outstanding_ > 0 || dma_pending_ > 0) {
+        // Drain in-flight accesses and posted copies before the rendezvous.
         waiting_barrier_ = true;
         return;
       }
@@ -117,7 +148,7 @@ void TraceCore::on_response(const MemReq& req) {
     issue_lines();
     return;
   }
-  if (waiting_barrier_ && outstanding_ == 0) {
+  if (waiting_barrier_ && outstanding_ == 0 && dma_pending_ == 0) {
     waiting_barrier_ = false;
     const trace::TraceOp& op = (*stream_)[op_];
     ++stats_.barriers;

@@ -40,6 +40,7 @@ class BarrierController {
 
 struct CoreStats {
   std::uint64_t loads = 0, stores = 0;
+  std::uint64_t dmas = 0;  // DMA descriptors this core posted
   double compute_ops = 0;
   std::uint64_t barriers = 0;
   SimTime finish_time = 0;
@@ -48,11 +49,18 @@ struct CoreStats {
   LogHistogram latency_hist;     // the distribution behind the mean
 };
 
+class DmaEngine;
+
 class TraceCore final : public Requester {
  public:
+  // `dma` may be null for systems without an engine; replaying a trace that
+  // contains DmaCopy descriptors then fails loudly. A DmaCopy op posts the
+  // descriptor and advances immediately — the next Barrier op is the
+  // completion fence (it waits for the core's posted copies to drain, the
+  // same contract Machine::dma_copy documents).
   TraceCore(Simulator& sim, CoreConfig cfg, std::size_t id,
             const std::vector<trace::TraceOp>* stream, MemPort* l1,
-            BarrierController* barrier);
+            BarrierController* barrier, DmaEngine* dma = nullptr);
 
   // Schedules the first step; call once before Simulator::run().
   void start();
@@ -73,11 +81,13 @@ class TraceCore final : public Requester {
   const std::vector<trace::TraceOp>* stream_;
   MemPort* l1_;
   BarrierController* barrier_;
+  DmaEngine* dma_;
 
   std::size_t op_ = 0;           // index into the stream
   std::uint64_t cursor_ = 0;     // next line address within the current burst
   std::uint64_t burst_end_ = 0;  // one past the last byte of the burst
   std::uint32_t outstanding_ = 0;
+  std::uint32_t dma_pending_ = 0;  // posted copies not yet completed
   bool burst_active_ = false;
   bool waiting_barrier_ = false;
   std::unordered_map<std::uint64_t, SimTime> issue_time_;  // tag -> time

@@ -89,6 +89,14 @@ System::System(SystemConfig cfg, const trace::TraceBuffer& trace)
   noc_->add_route(trace::kFarBase, trace::kNearBase, far_ep, far_.get());
   noc_->add_route(trace::kNearBase, ~0ULL, near_ep, near_.get());
 
+  // The background copy engine (Figs. 5/7 "DMA Engines") sits on its own
+  // NoC endpoint, provisioned like a group port, and can route both far and
+  // near addresses. Cores hand it the DmaCopy descriptors in their traces.
+  DmaConfig dma_cfg = cfg_.dma;
+  dma_cfg.line_bytes = cfg_.l1.line_bytes;
+  const std::size_t dma_ep = noc_->add_endpoint("dma", cfg_.group_port_bw);
+  dma_ = std::make_unique<DmaEngine>(sim_, dma_cfg, noc_->port(dma_ep));
+
   l2s_.reserve(groups);
   for (std::size_t g = 0; g < groups; ++g) {
     CacheConfig l2 = cfg_.l2;
@@ -105,7 +113,8 @@ System::System(SystemConfig cfg, const trace::TraceBuffer& trace)
     l1s_.push_back(std::make_unique<Cache>(
         sim_, l1, l2s_[i / cfg_.cores_per_group].get()));
     cores_.push_back(std::make_unique<TraceCore>(
-        sim_, cfg_.core, i, &trace_.stream(i), l1s_[i].get(), barrier_.get()));
+        sim_, cfg_.core, i, &trace_.stream(i), l1s_[i].get(), barrier_.get(),
+        dma_.get()));
   }
 }
 
@@ -150,6 +159,7 @@ SimReport System::run(std::uint64_t max_events) {
     r.latency_hist.merge(c->stats().latency_hist);
   }
   r.barrier_epochs = barrier_->epoch();
+  r.dma = dma_->stats();
   return r;
 }
 
@@ -178,6 +188,9 @@ std::vector<std::pair<std::string, double>> SimReport::counters() const {
   put("l2.writebacks", static_cast<double>(l2.writebacks));
   put("noc.messages", static_cast<double>(noc.messages));
   put("noc.bytes", static_cast<double>(noc.bytes));
+  put("dma.descriptors", static_cast<double>(dma.descriptors));
+  put("dma.lines", static_cast<double>(dma.lines));
+  put("dma.bytes", static_cast<double>(dma.bytes));
   put("cores.loads", static_cast<double>(core_loads));
   put("cores.stores", static_cast<double>(core_stores));
   put("cores.compute_ops", compute_ops);
@@ -219,6 +232,9 @@ void System::print_stats(std::ostream& os) const {
   const MemStats& nr = near_->stats();
   os << "mem.near reads=" << nr.reads << " writes=" << nr.writes
      << " bus_busy_s=" << to_seconds(nr.busy) << "\n";
+  const DmaStats& d = dma_->stats();
+  os << "dma descriptors=" << d.descriptors << " lines=" << d.lines
+     << " bytes=" << d.bytes << "\n";
 }
 
 System::Inventory System::inventory() const {
@@ -226,7 +242,8 @@ System::Inventory System::inventory() const {
   inv.cores = cores_.size();
   inv.l1s = l1s_.size();
   inv.l2s = l2s_.size();
-  inv.noc_endpoints = cores_.size() / cfg_.cores_per_group + 2;
+  // Group ports + far/near directory controllers + the DMA engine's port.
+  inv.noc_endpoints = cores_.size() / cfg_.cores_per_group + 3;
   inv.far_channels = cfg_.far.channels;
   inv.near_channels = cfg_.near.channels;
   return inv;

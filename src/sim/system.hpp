@@ -13,6 +13,7 @@
 
 #include "sim/cache.hpp"
 #include "sim/core.hpp"
+#include "sim/dma.hpp"
 #include "sim/memory.hpp"
 #include "sim/noc.hpp"
 #include "sim/simulator.hpp"
@@ -30,6 +31,7 @@ struct SystemConfig {
   double group_port_bw = 72e9;  // Fig. 4: 72 GB/s per group to the NoC
   FarMemConfig far;
   NearMemConfig near;
+  DmaConfig dma;  // the background copy engine of Figs. 5 and 7
 
   void validate() const;
 
@@ -51,6 +53,7 @@ struct SimReport {
   MemStats near;             // Table I "Scratchpad Accesses"
   CacheStats l1, l2;         // aggregated over all instances
   NocStats noc;
+  DmaStats dma;              // descriptors the cores posted to the engine
   std::uint64_t core_loads = 0, core_stores = 0;
   double compute_ops = 0;
   std::uint64_t barrier_epochs = 0;
@@ -93,6 +96,7 @@ class System {
   std::unique_ptr<Crossbar> noc_;
   std::unique_ptr<FarMemory> far_;
   std::unique_ptr<NearMemory> near_;
+  std::unique_ptr<DmaEngine> dma_;
   std::vector<std::unique_ptr<Cache>> l2s_;
   std::vector<std::unique_ptr<Cache>> l1s_;
   std::unique_ptr<BarrierController> barrier_;

@@ -15,7 +15,8 @@ template void merge_runs_charged<std::uint64_t, std::less<std::uint64_t>>(
 template void parallel_multiway_merge<std::uint64_t,
                                       std::less<std::uint64_t>>(
     Machine&, const std::vector<Run<std::uint64_t>>&,
-    std::span<std::uint64_t>, std::less<std::uint64_t>, const MergeOptions&);
+    std::span<std::uint64_t>, std::less<std::uint64_t>, const MergeOptions&,
+    const std::function<void(std::size_t)>&);
 
 template void multiway_merge_sort<std::uint64_t, std::less<std::uint64_t>>(
     Machine&, std::span<std::uint64_t>, MultiwaySortOptions,

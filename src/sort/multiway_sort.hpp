@@ -125,10 +125,11 @@ std::vector<Run<T>> group_runs(const T* src, std::uint64_t n,
 }
 
 // One k-way merge pass over all `cur_runs` runs: src -> dst. Builds a flat
-// task list — one task per (group, value-split part) — and executes it in a
+// task list — one task per (group, merge-path part) — and executes it in a
 // single SPMD section, so the pass parallelizes whether there are many
-// small groups, few large ones, or anything between. Returns the number of
-// runs remaining.
+// small groups, few large ones, or anything between. The merge-path cuts
+// are exact cross-run ranks, so the parts stay balanced even when every
+// key in a group is identical. Returns the number of runs remaining.
 template <typename T, typename Cmp>
 std::uint64_t merge_pass(Machine& m, const T* src, T* dst, std::uint64_t n,
                          std::uint64_t run_len, std::uint64_t cur_runs,
@@ -142,9 +143,9 @@ std::uint64_t merge_pass(Machine& m, const T* src, T* dst, std::uint64_t n,
   // the split so small groups stay whole.
   const std::size_t per_group_cap = static_cast<std::size_t>(
       std::max<std::uint64_t>(1, 2 * m.threads() / groups));
-  // Partition every group in parallel (splitter probing is itself work that
-  // must not serialize on the orchestrator), then execute the flat task
-  // list in one SPMD section.
+  // Partition every group in parallel (merge-path probing is itself work
+  // that must not serialize on the orchestrator), then execute the flat
+  // task list in one SPMD section.
   std::vector<std::vector<Task>> per_group(
       static_cast<std::size_t>(groups));
   m.parallel_for(

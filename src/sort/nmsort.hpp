@@ -112,9 +112,17 @@ NMGeometry nm_geometry(const Machine& m, std::uint64_t n,
         {want, nb_cap, 4096, std::max<std::uint64_t>(1, n / 4)}));
   }
 
+  // Under `overlap_dma` Phase 2 double-buffers the staging area (two live
+  // batches: one merging, one being gathered by the DMA engine), so the
+  // default batch shrinks to half the usable scratchpad. An explicit
+  // opt.batch_elems is taken as-is; Phase 2 falls back to synchronous
+  // gathers if two such buffers cannot fit.
+  const std::uint64_t batch_budget =
+      cfg.overlap_dma ? usable / 2 : usable;
   g.batch_elems =
-      opt.batch_elems ? opt.batch_elems
-                      : std::max<std::uint64_t>(1024, usable / sizeof(T));
+      opt.batch_elems
+          ? opt.batch_elems
+          : std::max<std::uint64_t>(1024, batch_budget / sizeof(T));
   return g;
 }
 
@@ -296,6 +304,12 @@ void nm_sort_into(Machine& m, std::span<const T> input, std::span<T> output,
     m.end_phase();
 
     // ======================= Phase 2 (Fig. 3) ============================
+    // Pipelined when the machine has an overlapping DMA engine: the batch
+    // schedule is planned up-front from BucketTot, the staging area is
+    // double-buffered, and while all threads merge batch i out of one
+    // buffer they also post the DMA gather of batch i+1 into the other.
+    // The merge SPMD's join barrier is the transfer's completion fence, so
+    // under `overlap_dma` the gather traffic hides behind the merge.
     m.begin_phase("nmsort.phase2");
     // The planner consults BucketTot (near) and BucketPos (far): charge one
     // streaming read of each.
@@ -305,56 +319,125 @@ void nm_sort_into(Machine& m, std::span<const T> input, std::span<T> output,
     auto row = [&](std::uint64_t c) {
       return bucket_pos.data() + c * (nb + 1);
     };
-    std::span<T> batch_buf = m.alloc_array<T>(
-        Space::Near,
-        std::min<std::uint64_t>(g.batch_elems, n));
-    std::uint64_t out_off = 0;
-    std::size_t r = 0;
-    while (r < nb) {
-      // Largest k with BucketTot[r..k] within one scratchpad batch.
+
+    // Batch plan: greedy largest bucket prefix fitting one staging buffer.
+    struct Batch {
+      std::size_t r = 0, k = 0;    // bucket range [r, k)
+      std::uint64_t elems = 0;
+      bool oversized = false;      // single bucket larger than the buffer
+    };
+    const std::uint64_t cap = std::min<std::uint64_t>(g.batch_elems, n);
+    std::vector<Batch> batches;
+    for (std::size_t r = 0; r < nb;) {
       std::size_t k = r;
       std::uint64_t acc = 0;
-      while (k < nb && acc + bucket_tot[k] <= batch_buf.size()) {
+      while (k < nb && acc + bucket_tot[k] <= cap) {
         acc += bucket_tot[k];
         ++k;
       }
       if (k == r) {
-        // One bucket exceeds the scratchpad: merge its slices directly from
-        // far memory (correct, just without the bandwidth advantage).
-        const std::uint64_t big = bucket_tot[r];
-        std::vector<Run<T>> far_runs;
-        for (std::uint64_t c = 0; c < g.nchunks; ++c) {
-          const T* base = runs_area.data() + c * g.chunk_elems;
-          const std::uint64_t lo = row(c)[r], hi = row(c)[r + 1];
-          if (lo < hi) far_runs.push_back(Run<T>{base + lo, base + hi});
-        }
-        parallel_multiway_merge(
-            m, far_runs, output.subspan(out_off, big), cmp, opt.merge);
-        out_off += big;
-        ++r;
-        continue;
+        // One bucket exceeds the staging buffer: merged directly from far
+        // memory (correct, just without the bandwidth advantage).
+        batches.push_back(Batch{r, r + 1, bucket_tot[r], true});
+        r = r + 1;
+      } else {
+        batches.push_back(Batch{r, k, acc, false});
+        r = k;
       }
-      // Gather the [r, k) slice of every sorted run into the scratchpad.
-      std::vector<Run<T>> near_runs;
-      near_runs.reserve(static_cast<std::size_t>(g.nchunks));
+    }
+
+    // A gather is a fixed set of (source slice, staging offset) pairs; the
+    // same plan drives both the synchronous copy and the DMA prefetch.
+    struct GatherSlice {
+      const T* src;
+      std::uint64_t off, len;  // elements, into the staging buffer
+    };
+    auto slices_of = [&](const Batch& bt) {
+      std::vector<GatherSlice> s;
+      s.reserve(static_cast<std::size_t>(g.nchunks));
       std::uint64_t fill = 0;
       for (std::uint64_t c = 0; c < g.nchunks; ++c) {
         const T* base = runs_area.data() + c * g.chunk_elems;
-        const std::uint64_t lo = row(c)[r], hi = row(c)[k];
+        const std::uint64_t lo = row(c)[bt.r], hi = row(c)[bt.k];
         if (lo >= hi) continue;
-        T* dst = batch_buf.data() + fill;
-        detail::parallel_copy(m, dst, base + lo, hi - lo);
-        near_runs.push_back(Run<T>{dst, dst + (hi - lo)});
+        s.push_back(GatherSlice{base + lo, fill, hi - lo});
         fill += hi - lo;
       }
-      TLM_CHECK(fill == acc, "batch gather size mismatch");
-      parallel_multiway_merge(m, near_runs, output.subspan(out_off, acc), cmp,
-                              opt.merge);
-      out_off += acc;
-      r = k;
+      TLM_CHECK(fill == bt.elems, "batch gather size mismatch");
+      return s;
+    };
+
+    const std::uint64_t usable = m.config().near_capacity - g.meta_bytes;
+    const bool pipelined = m.config().overlap_dma && batches.size() > 1 &&
+                           2 * cap * sizeof(T) <= usable;
+    std::span<T> bufs[2];
+    bufs[0] = m.alloc_array<T>(Space::Near, static_cast<std::size_t>(cap));
+    if (pipelined)
+      bufs[1] = m.alloc_array<T>(Space::Near, static_cast<std::size_t>(cap));
+
+    std::uint64_t out_off = 0;
+    std::size_t cur = 0;       // staging buffer batch bi reads from
+    bool prefetched = false;   // bufs[cur] already holds batch bi's data
+    for (std::size_t bi = 0; bi < batches.size(); ++bi) {
+      const Batch& bt = batches[bi];
+      if (bt.oversized) {
+        std::vector<Run<T>> far_runs;
+        for (std::uint64_t c = 0; c < g.nchunks; ++c) {
+          const T* base = runs_area.data() + c * g.chunk_elems;
+          const std::uint64_t lo = row(c)[bt.r], hi = row(c)[bt.k];
+          if (lo < hi) far_runs.push_back(Run<T>{base + lo, base + hi});
+        }
+        parallel_multiway_merge(m, far_runs, output.subspan(out_off, bt.elems),
+                                cmp, opt.merge);
+        out_off += bt.elems;
+        // The staging pipeline restarts after a far-merge batch: the next
+        // staged batch was never prefetched, so it gathers synchronously.
+        continue;
+      }
+
+      const std::vector<GatherSlice> slices = slices_of(bt);
+      T* dst = bufs[cur].data();
+      if (!prefetched) {
+        // Synchronous gather: the first staged batch, any batch following
+        // an oversized far-merge batch, and every batch when the machine
+        // has no overlapping DMA engine.
+        for (const auto& s : slices)
+          detail::parallel_copy(m, dst + s.off, s.src, s.len);
+      }
+      std::vector<Run<T>> near_runs;
+      near_runs.reserve(slices.size());
+      for (const auto& s : slices)
+        near_runs.push_back(Run<T>{dst + s.off, dst + s.off + s.len});
+
+      // Post the next staged batch's gather from inside the merge SPMD so
+      // the DMA engine fills the other buffer while every thread merges.
+      std::function<void(std::size_t)> prefetch;
+      if (pipelined && bi + 1 < batches.size() && !batches[bi + 1].oversized) {
+        T* ndst = bufs[cur ^ 1].data();
+        prefetch = [&m, ndst, nslices = slices_of(batches[bi + 1])](
+                       std::size_t w) {
+          for (const auto& s : nslices) {
+            auto [lo, hi] = ThreadPool::chunk(
+                static_cast<std::size_t>(s.len), w, m.threads());
+            if (lo < hi)
+              m.dma_copy(w, ndst + s.off + lo, s.src + lo,
+                         static_cast<std::uint64_t>(hi - lo) * sizeof(T));
+          }
+        };
+      }
+      parallel_multiway_merge(m, near_runs, output.subspan(out_off, bt.elems),
+                              cmp, opt.merge, prefetch);
+      out_off += bt.elems;
+      if (prefetch) {
+        prefetched = true;
+        cur ^= 1;
+      } else {
+        prefetched = false;
+      }
     }
     TLM_CHECK(out_off == n, "phase 2 did not emit every element");
-    m.free_array(Space::Near, batch_buf);
+    if (pipelined) m.free_array(Space::Near, bufs[1]);
+    m.free_array(Space::Near, bufs[0]);
     m.end_phase();
   } else {
     // ============== Naive eager-scatter variant (ablation) ===============

@@ -54,6 +54,28 @@ const T* charged_lower_bound(Machine& m, std::size_t thread, const T* first,
   return first;
 }
 
+// Companion to charged_lower_bound: first element greater than `value`.
+// The merge-path partitioner needs both bounds to count an element's rank
+// range (how many elements compare less / not greater) across runs.
+template <typename T, typename Cmp>
+const T* charged_upper_bound(Machine& m, std::size_t thread, const T* first,
+                             const T* last, const T& value, Cmp cmp) {
+  const std::uint64_t line = m.config().block_bytes;
+  std::uint64_t len = static_cast<std::uint64_t>(last - first);
+  while (len > 0) {
+    const std::uint64_t half = len / 2;
+    const T* mid = first + half;
+    m.stream_read(thread, mid, std::min<std::uint64_t>(line, sizeof(T)));
+    if (!cmp(value, *mid)) {
+      first = mid + 1;
+      len -= half + 1;
+    } else {
+      len = half;
+    }
+  }
+  return first;
+}
+
 // Galloping variant for monotone query sequences: when consecutive pivots
 // are nondecreasing, searching forward from the previous hit costs
 // O(lg gap) probes instead of O(lg n) — this is what keeps NMsort's

@@ -119,18 +119,39 @@ void sp_sort_rec(Machine& m, std::span<T> seg, const ScratchpadSortOptions& o,
   // Groups of M − Θ(m) elements stream through the scratchpad; the sorted
   // group's positions against X yield the bucket pieces, written back in
   // place so each chunk of `seg` becomes a bucket-ordered sorted run.
-  const std::uint64_t chunk =
+  std::uint64_t chunk =
       std::max<std::uint64_t>(1024, fit_elems - std::min<std::uint64_t>(
                                                     fit_elems / 2, 2 * s));
+  // Pipelined staging (§VI-B): with an overlap-capable engine the gather of
+  // group c+1 runs on the DMA while group c sorts. That costs a second
+  // staging buffer, so shrink the group until two buffers plus the inner
+  // sort's working area still fit: 3 * chunk <= 2 * fit_elems.
+  const bool pipelined = cfg.overlap_dma && n > chunk;
+  if (pipelined)
+    chunk = std::max<std::uint64_t>(
+        1024, std::min(chunk, 2 * fit_elems / 3));
   const std::uint64_t nchunks = ceil_div(n, chunk);
   std::vector<std::vector<std::uint64_t>> pos(
       static_cast<std::size_t>(nchunks));
   std::span<T> buf = m.alloc_array<T>(Space::Near, std::min(chunk, n));
+  std::span<T> buf2 =
+      pipelined ? m.alloc_array<T>(Space::Near, std::min(chunk, n))
+                : std::span<T>{};
+  if (pipelined)  // the first group has nothing to hide behind
+    m.copy(0, buf.data(), seg.data(), std::min(chunk, n) * sizeof(T));
   for (std::uint64_t c = 0; c < nchunks; ++c) {
     const std::uint64_t b = c * chunk;
     const std::uint64_t len = std::min(chunk, n - b);
-    m.copy(0, buf.data(), seg.data() + b, len * sizeof(T));
-    std::span<T> group = buf.subspan(0, len);
+    std::span<T> cur = (pipelined && (c & 1)) ? buf2 : buf;
+    if (!pipelined) {
+      m.copy(0, cur.data(), seg.data() + b, len * sizeof(T));
+    } else if (c + 1 < nchunks) {
+      std::span<T> next = (c & 1) ? buf : buf2;
+      const std::uint64_t nlen = std::min(chunk, n - (c + 1) * chunk);
+      m.dma_copy(0, next.data(), seg.data() + (c + 1) * chunk,
+                 nlen * sizeof(T));
+    }
+    std::span<T> group = cur.subspan(0, len);
     inner_sort(m, group, o, cmp);
     auto& row = pos[static_cast<std::size_t>(c)];
     row.resize(nb + 1);
@@ -141,9 +162,10 @@ void sp_sort_rec(Machine& m, std::span<T> seg, const ScratchpadSortOptions& o,
           charged_lower_bound(m, 0, group.data(), group.data() + len,
                               pivots[i - 1], cmp) -
           group.data());
-    m.copy(0, seg.data() + b, buf.data(), len * sizeof(T));
+    m.copy(0, seg.data() + b, cur.data(), len * sizeof(T));
     ++report.bucketizing_scans;
   }
+  if (pipelined) m.free_array(Space::Near, buf2);
   m.free_array(Space::Near, buf);
   m.free_array(Space::Near, pivots);
 

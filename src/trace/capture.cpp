@@ -27,6 +27,11 @@ void TraceBuffer::append(std::size_t thread, TraceOp op) {
         last.bytes += op.bytes;
         return;
       }
+      if (op.kind == OpKind::DmaCopy && last.addr + last.bytes == op.addr &&
+          last.src + last.bytes == op.src) {
+        last.bytes += op.bytes;
+        return;
+      }
     }
   }
   s.push_back(op);
@@ -50,6 +55,11 @@ void TraceBuffer::on_barrier(std::size_t thread, std::uint64_t barrier_id) {
   append(thread, TraceOp{OpKind::Barrier, barrier_id, 0, 0});
 }
 
+void TraceBuffer::on_dma(std::size_t thread, std::uint64_t dst_vaddr,
+                         std::uint64_t src_vaddr, std::uint64_t bytes) {
+  append(thread, TraceOp{OpKind::DmaCopy, dst_vaddr, bytes, 0, src_vaddr});
+}
+
 TraceSummary TraceBuffer::summary() const {
   TraceSummary t;
   for (const auto& s : streams_) {
@@ -70,6 +80,10 @@ TraceSummary TraceBuffer::summary() const {
         case OpKind::Barrier:
           ++t.barriers;
           break;
+        case OpKind::DmaCopy:
+          ++t.dmas;
+          t.dma_bytes += op.bytes;
+          break;
       }
     }
   }
@@ -86,7 +100,8 @@ std::string TraceBuffer::describe() const {
   os << "trace: " << streams_.size() << " threads, " << t.reads << " reads ("
      << t.read_bytes << " B), " << t.writes << " writes (" << t.write_bytes
      << " B), " << t.computes << " compute segments (" << t.compute_ops
-     << " ops), " << t.barriers << " barrier crossings";
+     << " ops), " << t.barriers << " barrier crossings, " << t.dmas
+     << " DMA descriptors (" << t.dma_bytes << " B)";
   return os.str();
 }
 

@@ -16,9 +16,12 @@ namespace tlm::trace {
 
 struct TraceSummary {
   std::uint64_t reads = 0, writes = 0, computes = 0, barriers = 0;
-  std::uint64_t read_bytes = 0, write_bytes = 0;
+  std::uint64_t dmas = 0;
+  std::uint64_t read_bytes = 0, write_bytes = 0, dma_bytes = 0;
   double compute_ops = 0;
-  std::uint64_t total_ops() const { return reads + writes + computes + barriers; }
+  std::uint64_t total_ops() const {
+    return reads + writes + computes + barriers + dmas;
+  }
 };
 
 class TraceBuffer final : public TraceSink {
@@ -31,6 +34,8 @@ class TraceBuffer final : public TraceSink {
                 std::uint64_t bytes) override;
   void on_compute(std::size_t thread, double ops) override;
   void on_barrier(std::size_t thread, std::uint64_t barrier_id) override;
+  void on_dma(std::size_t thread, std::uint64_t dst_vaddr,
+              std::uint64_t src_vaddr, std::uint64_t bytes) override;
 
   std::size_t threads() const { return streams_.size(); }
   const std::vector<TraceOp>& stream(std::size_t thread) const {

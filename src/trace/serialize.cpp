@@ -12,7 +12,9 @@ namespace tlm::trace {
 namespace {
 
 constexpr char kMagic[8] = {'T', 'L', 'M', 'T', 'R', 'A', 'C', 'E'};
-constexpr std::uint32_t kVersion = 1;
+// v2: TraceOp gained the DmaCopy kind and its `src` address field, changing
+// the on-disk op record layout.
+constexpr std::uint32_t kVersion = 2;
 
 struct Header {
   char magic[8];
@@ -80,6 +82,9 @@ TraceBuffer load_trace(std::istream& is) {
           break;
         case OpKind::Barrier:
           tb.on_barrier(t, op.addr);
+          break;
+        case OpKind::DmaCopy:
+          tb.on_dma(t, op.addr, op.src, op.bytes);
           break;
         default:
           TLM_REQUIRE(false, "unknown op kind in trace");

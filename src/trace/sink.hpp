@@ -26,13 +26,16 @@ enum class OpKind : std::uint8_t {
   Write = 1,    // memory store burst
   Compute = 2,  // `ops` units of computation (comparisons/moves)
   Barrier = 3,  // all threads rendezvous on `barrier_id`
+  DmaCopy = 4,  // descriptor handed to the DMA engine: src -> addr, bytes
 };
 
 struct TraceOp {
   OpKind kind = OpKind::Compute;
-  std::uint64_t addr = 0;   // virtual address (Read/Write) or barrier id
-  std::uint64_t bytes = 0;  // burst length (Read/Write)
+  std::uint64_t addr = 0;   // virtual address (Read/Write/DmaCopy dst) or
+                            // barrier id
+  std::uint64_t bytes = 0;  // burst length (Read/Write/DmaCopy)
   double ops = 0;           // work amount (Compute)
+  std::uint64_t src = 0;    // source virtual address (DmaCopy only)
 };
 
 // Receives the instrumentation stream. Implementations must be safe to call
@@ -47,6 +50,15 @@ class TraceSink {
                         std::uint64_t bytes) = 0;
   virtual void on_compute(std::size_t thread, double ops) = 0;
   virtual void on_barrier(std::size_t thread, std::uint64_t barrier_id) = 0;
+  // A cross-space copy delegated to the DMA engine (Fig. 5/7's "DMA
+  // Engines"): the issuing core posts a descriptor and keeps executing; the
+  // next barrier is the completion fence. Default: sinks that predate the
+  // DMA path see the equivalent read+write burst pair.
+  virtual void on_dma(std::size_t thread, std::uint64_t dst_vaddr,
+                      std::uint64_t src_vaddr, std::uint64_t bytes) {
+    on_read(thread, src_vaddr, bytes);
+    on_write(thread, dst_vaddr, bytes);
+  }
 };
 
 }  // namespace tlm::trace

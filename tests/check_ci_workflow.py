@@ -47,6 +47,7 @@ def main():
         "lint",
         "clang-tidy",
         "model-check",
+        "flake-detect",
     ):
         if required not in jobs:
             fail(f"missing job: {required}")
@@ -73,6 +74,17 @@ def main():
     ):
         if needle not in san:
             fail(f"sanitizers steps must mention '{needle}'")
+
+    # flake-detect: threaded suites repeated until-fail under TSan, so
+    # scheduling-dependent failures surface in CI rather than on main.
+    flake = steps_text(jobs["flake-detect"])
+    for needle in (
+        "-fsanitize=thread",
+        "-L threaded",
+        "--repeat until-fail:3",
+    ):
+        if needle not in flake:
+            fail(f"flake-detect steps must mention '{needle}'")
 
     # lint: the project-invariant linter runs build-free.
     lint = steps_text(jobs["lint"])

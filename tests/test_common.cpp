@@ -170,6 +170,113 @@ TEST(LoserTree, DuplicatesAreStableByRun) {
   for (auto v : out) EXPECT_EQ(v, 5u);
 }
 
+TEST(LoserTree, SingleEmptyRun) {
+  const auto out = merge_with_tree({{}});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(LoserTree, FanInOneInterleavesPopAndTop) {
+  std::vector<std::uint64_t> r{2, 4, 6};
+  LoserTree<std::uint64_t> tree(
+      std::vector<LoserTree<std::uint64_t>::Run>{
+          {r.data(), r.data() + r.size()}});
+  EXPECT_EQ(tree.top_run(), 0u);
+  EXPECT_EQ(tree.top(), 2u);
+  EXPECT_EQ(tree.pop(), 2u);
+  EXPECT_EQ(tree.top(), 4u);
+  EXPECT_EQ(tree.remaining(), 2u);
+  EXPECT_EQ(tree.pop(), 4u);
+  EXPECT_EQ(tree.pop(), 6u);
+  EXPECT_TRUE(tree.done());
+}
+
+// Tagged element: comparisons see only the key, the test sees which run each
+// element came from — the only way to actually observe tie-break order.
+struct Tagged {
+  std::uint64_t key;
+  std::size_t run;
+};
+struct TaggedLess {
+  bool operator()(const Tagged& a, const Tagged& b) const {
+    return a.key < b.key;
+  }
+};
+
+std::vector<Tagged> merge_tagged(
+    const std::vector<std::vector<std::uint64_t>>& runs) {
+  std::vector<std::vector<Tagged>> tagged(runs.size());
+  std::vector<LoserTree<Tagged, TaggedLess>::Run> rs;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    for (std::uint64_t v : runs[i]) tagged[i].push_back(Tagged{v, i});
+    rs.push_back({tagged[i].data(), tagged[i].data() + tagged[i].size()});
+  }
+  LoserTree<Tagged, TaggedLess> tree(std::move(rs));
+  std::vector<Tagged> out;
+  while (!tree.done()) out.push_back(tree.pop());
+  return out;
+}
+
+// Sorted by key; among equal keys, ordered by source run index — with the
+// run's own elements in their original order. That is exactly what a
+// sequential stable merge (std::merge folded left) produces.
+void expect_stable(const std::vector<Tagged>& out) {
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    ASSERT_LE(out[i - 1].key, out[i].key);
+    if (out[i - 1].key == out[i].key)
+      ASSERT_LE(out[i - 1].run, out[i].run)
+          << "tie on key " << out[i].key << " emitted out of run order";
+  }
+}
+
+TEST(LoserTree, TieBreakIsByRunIndex) {
+  const auto out =
+      merge_tagged({{5, 5}, {3, 5}, {5}, {5, 7}});
+  ASSERT_EQ(out.size(), 7u);
+  expect_stable(out);
+  // The five 5s specifically: two from run 0, then runs 1, 2, 3.
+  std::vector<std::size_t> five_runs;
+  for (const Tagged& t : out)
+    if (t.key == 5) five_runs.push_back(t.run);
+  EXPECT_EQ(five_runs, (std::vector<std::size_t>{0, 0, 1, 2, 3}));
+}
+
+TEST(LoserTree, DuplicatesAtRunBoundariesStayStable) {
+  // Equal keys sit at the ends of some runs and the starts of others, so a
+  // popped run re-enters the tournament against an equal head repeatedly.
+  const auto out = merge_tagged(
+      {{1, 4, 4}, {4, 4, 8}, {0, 4}, {4}, {4, 9}});
+  expect_stable(out);
+}
+
+TEST(LoserTree, ZeroLengthRunsWithTies) {
+  // Empty runs padded into the tournament must always lose, including
+  // against equal keys on either side of them.
+  const auto out = merge_tagged({{}, {7, 7}, {}, {7}, {}, {}, {7, 7}});
+  ASSERT_EQ(out.size(), 5u);
+  expect_stable(out);
+  EXPECT_EQ(out.front().run, 1u);
+  EXPECT_EQ(out.back().run, 6u);
+}
+
+TEST(LoserTree, RandomizedStabilityWithEmptiesAndDuplicates) {
+  Xoshiro256 rng(1234);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t k = 1 + rng.below(10);
+    std::vector<std::vector<std::uint64_t>> runs(k);
+    std::size_t total = 0;
+    for (auto& r : runs) {
+      if (rng.below(4) == 0) continue;  // zero-length run
+      const std::size_t len = rng.below(40);
+      for (std::size_t i = 0; i < len; ++i) r.push_back(rng.below(8));
+      std::sort(r.begin(), r.end());
+      total += len;
+    }
+    const auto out = merge_tagged(runs);
+    ASSERT_EQ(out.size(), total) << "trial " << trial;
+    expect_stable(out);
+  }
+}
+
 TEST(LoserTree, RandomizedAgainstStdMerge) {
   Xoshiro256 rng(99);
   for (int trial = 0; trial < 20; ++trial) {

@@ -227,5 +227,144 @@ TEST(SampleSplitters, BalancedPartsOnUniformData) {
   }
 }
 
+// ---- merge-path exact-partition properties --------------------------------
+
+std::uint64_t part_elems(const MergePartition<std::uint64_t>& part,
+                         std::size_t j) {
+  std::uint64_t sz = 0;
+  for (const auto& s : part.slice[j]) sz += s.size();
+  return sz;
+}
+
+// The balance invariant the exact partitioner guarantees: no part exceeds
+// ⌈total/parts⌉ (a fortiori within the ⌈total/p⌉ + fan slack any splitting
+// scheme must meet), on any distribution.
+void expect_balanced(Machine& m, const std::vector<RunT>& rs,
+                     std::size_t parts, const char* label) {
+  const std::uint64_t total = total_size(rs);
+  const auto part = partition_merge(m, 0, rs, parts);
+  const std::uint64_t cap = (total + parts - 1) / parts;
+  std::uint64_t covered = 0;
+  for (std::size_t j = 0; j < parts; ++j) {
+    const std::uint64_t sz = part_elems(part, j);
+    EXPECT_LE(sz, cap) << label << ": part " << j << " of " << parts;
+    EXPECT_EQ(part.offset[j], covered) << label;
+    covered += sz;
+  }
+  EXPECT_EQ(covered, total) << label;
+}
+
+TEST(MergePathPartition, BalanceInvariantAcrossDistributions) {
+  Machine m(cfg2());
+  Xoshiro256 rng(41);
+  const std::size_t k = 6, len = 3000;
+  auto build = [&](auto gen) {
+    std::vector<std::vector<std::uint64_t>> runs(k);
+    for (auto& r : runs) {
+      r.resize(len);
+      for (auto& x : r) x = gen();
+      std::sort(r.begin(), r.end());
+    }
+    return runs;
+  };
+  const auto uniform = build([&] { return rng.below(1u << 30); });
+  const auto all_equal = build([] { return std::uint64_t{42}; });
+  const auto few_distinct = build([&] { return rng.below(3); });
+  // Geometric key frequencies: value v appears ~2^-v of the time.
+  const auto zipf_ish = build([&] {
+    std::uint64_t v = 0;
+    while (v < 20 && rng.below(2) == 0) ++v;
+    return v;
+  });
+  for (std::size_t parts : {2u, 4u, 8u, 16u}) {
+    expect_balanced(m, as_runs(uniform), parts, "uniform");
+    expect_balanced(m, as_runs(all_equal), parts, "all-equal");
+    expect_balanced(m, as_runs(few_distinct), parts, "few-distinct");
+    expect_balanced(m, as_runs(zipf_ish), parts, "zipf-ish");
+  }
+}
+
+TEST(MergePathPartition, AllEqualKeysSplitAcrossEveryPart) {
+  // The case that collapses value-based splitters onto one thread: every
+  // key identical. The rank split must still hand all parts equal work.
+  Machine m(cfg2());
+  std::vector<std::uint64_t> a(8192, 7), b(8192, 7);
+  const std::vector<RunT> rs = {{a.data(), a.data() + a.size()},
+                                {b.data(), b.data() + b.size()}};
+  const std::size_t parts = 8;
+  const auto part = partition_merge(m, 0, rs, parts);
+  for (std::size_t j = 0; j < parts; ++j)
+    EXPECT_EQ(part_elems(part, j), (a.size() + b.size()) / parts)
+        << "part " << j;
+}
+
+TEST(MergePathPartition, ImbalanceCounterRecordsExactSplit) {
+  TwoLevelConfig c = cfg2();
+  Machine m(c);
+  std::vector<std::uint64_t> a(4096, 9);
+  const std::vector<RunT> rs = {{a.data(), a.data() + a.size()},
+                                {a.data(), a.data() + a.size()}};
+  m.begin_phase("split");
+  partition_merge(m, 0, rs, 8);
+  m.end_phase();
+  const PhaseStats ph = m.stats().phases.at(0);
+  EXPECT_EQ(ph.partition_splits, 1u);
+  EXPECT_GT(ph.partition_imbalance_max, 0.0);
+  // max slice == ideal share on a divisible all-equal input.
+  EXPECT_DOUBLE_EQ(ph.partition_imbalance_max, 1.0);
+}
+
+TEST(MergePathPartition, SkewedAndRaggedRuns) {
+  Machine m(cfg2());
+  Xoshiro256 rng(57);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::vector<std::uint64_t>> runs(1 + rng.below(8));
+    for (auto& r : runs) {
+      r.resize(rng.below(2500));
+      for (auto& x : r) x = rng.below(5) == 0 ? 1 : rng.below(1u << 20);
+      std::sort(r.begin(), r.end());
+    }
+    const auto rs = as_runs(runs);
+    if (total_size(rs) == 0) continue;
+    for (std::size_t parts : {3u, 5u, 8u})
+      expect_balanced(m, rs, parts, "skewed-ragged");
+  }
+}
+
+TEST(MergePathPartition, PreservesStabilityThroughParallelMerge) {
+  // Ties split across parts must come back out in run-index order: run the
+  // parallel merge on tagged pairs and compare against a sequential stable
+  // merge of the same runs.
+  struct KV {
+    std::uint64_t key;
+    std::uint64_t tag;
+    bool operator==(const KV&) const = default;
+  };
+  auto kv_less = [](const KV& x, const KV& y) { return x.key < y.key; };
+  TwoLevelConfig c = cfg2();
+  c.threads = 8;
+  Machine m(c);
+  Xoshiro256 rng(71);
+  std::vector<std::vector<KV>> runs(5);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    runs[i].resize(4000);
+    for (auto& x : runs[i]) x = KV{rng.below(4), i};
+    std::stable_sort(runs[i].begin(), runs[i].end(), kv_less);
+  }
+  std::vector<KV> expect;
+  for (const auto& r : runs) expect.insert(expect.end(), r.begin(), r.end());
+  std::stable_sort(expect.begin(), expect.end(), [&](const KV& x, const KV& y) {
+    return x.key != y.key ? x.key < y.key : x.tag < y.tag;
+  });
+  std::vector<tlm::sort::Run<KV>> rs;
+  for (const auto& r : runs)
+    rs.push_back(tlm::sort::Run<KV>{r.data(), r.data() + r.size()});
+  std::vector<KV> out(expect.size());
+  MergeOptions opt;
+  opt.min_part_elems = 512;
+  parallel_multiway_merge(m, rs, std::span<KV>(out), kv_less, opt);
+  EXPECT_EQ(out, expect);
+}
+
 }  // namespace
 }  // namespace tlm::sort

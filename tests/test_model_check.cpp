@@ -115,6 +115,20 @@ TEST_F(ModelSanitizerDeath, LeakDiagnosticNamesPhase) {
   EXPECT_DEATH(m.end_phase(), "phase=leaky");
 }
 
+TEST_F(ModelSanitizerDeath, SecondStagingBufferLeakFires) {
+  // Regression guard for the double-buffered Phase-2 pipeline: a bug that
+  // frees the active staging buffer but forgets the prefetch buffer must
+  // trip the sanitizer at the phase boundary, not silently shrink M for
+  // every later phase.
+  Machine m(tiny());
+  m.begin_phase("pipelined-merge");
+  auto bufs0 = m.alloc_array<std::uint64_t>(Space::Near, 256);
+  auto bufs1 = m.alloc_array<std::uint64_t>(Space::Near, 256);
+  m.free_array(Space::Near, bufs0);  // bufs1 leaks past the phase end
+  EXPECT_DEATH(m.end_phase(), "model\\.phase_leak");
+  m.free_array(Space::Near, bufs1);
+}
+
 TEST_F(ModelSanitizerDeath, RetainAcrossPhasesSuppressesLeak) {
   Machine m(tiny());
   m.begin_phase("setup");
@@ -188,6 +202,22 @@ TEST(ModelSanitizerClean, NmSortConforms) {
   Machine m(c);
   std::vector<std::uint64_t> keys(200'000), out(keys.size());
   std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (auto& k : keys) k = x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+  sort::nm_sort_into(m, std::span<const std::uint64_t>(keys),
+                     std::span<std::uint64_t>(out));
+  m.end_phase();
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(ModelSanitizerClean, PipelinedNmSortConforms) {
+  // The overlap_dma=true path stages batches through two scratchpad
+  // buffers; both must be freed before Phase 2 closes.
+  TwoLevelConfig c = tiny();
+  c.threads = 2;
+  c.overlap_dma = true;
+  Machine m(c);
+  std::vector<std::uint64_t> keys(200'000), out(keys.size());
+  std::uint64_t x = 0x2545f4914f6cdd1dULL;
   for (auto& k : keys) k = x = x * 6364136223846793005ULL + 1442695040888963407ULL;
   sort::nm_sort_into(m, std::span<const std::uint64_t>(keys),
                      std::span<std::uint64_t>(out));

@@ -120,7 +120,7 @@ TEST(Machine, TimeModelSerializedVsOverlap) {
     auto far = m->alloc_array<std::uint64_t>(Space::Far, 1 << 16);
     auto near = m->alloc_array<std::uint64_t>(Space::Near, 1 << 16);
     m->begin_phase("p");
-    m->copy(0, near.data(), far.data(), far.size_bytes());
+    m->dma_copy(0, near.data(), far.data(), far.size_bytes());
     m->compute(0, 1e6);
     m->end_phase();
   }
@@ -129,9 +129,33 @@ TEST(Machine, TimeModelSerializedVsOverlap) {
   EXPECT_GT(ts, to);  // overlap can only help
   const PhaseStats ph = serial.stats().phases[0];
   EXPECT_NEAR(ph.seconds, ph.far_s + ph.near_s + ph.compute_s, 1e-15);
+  // Only DMA-posted traffic overlaps. All the traffic here went through
+  // dma_copy, so the cores retain just the compute and the engine's busy
+  // time is the slower of its two sides (it pipelines far reads into near
+  // writes).
   const PhaseStats po = overlap.stats().phases[0];
-  EXPECT_NEAR(po.seconds, std::max({po.far_s, po.near_s, po.compute_s}),
-              1e-15);
+  EXPECT_EQ(po.dma_bytes(), po.far_bytes() + po.near_bytes());
+  EXPECT_GT(po.dma_s, 0.0);
+  EXPECT_NEAR(po.dma_s, std::max(po.far_s, po.near_s), 1e-15);
+  EXPECT_NEAR(po.seconds, std::max(po.compute_s, po.dma_s), 1e-15);
+}
+
+TEST(Machine, CoreDrivenCopyDoesNotOverlap) {
+  // copy() is core-driven even when the machine has an overlap-capable DMA
+  // engine: without a dma_copy the phase time is the plain serial sum.
+  TwoLevelConfig c = cfg1();
+  c.overlap_dma = true;
+  Machine m(c);
+  auto far = m.alloc_array<std::uint64_t>(Space::Far, 1 << 12);
+  auto near = m.alloc_array<std::uint64_t>(Space::Near, 1 << 12);
+  m.begin_phase("p");
+  m.copy(0, near.data(), far.data(), far.size_bytes());
+  m.compute(0, 1e5);
+  m.end_phase();
+  const PhaseStats ph = m.stats().phases[0];
+  EXPECT_EQ(ph.dma_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(ph.dma_s, 0.0);
+  EXPECT_NEAR(ph.seconds, ph.far_s + ph.near_s + ph.compute_s, 1e-15);
 }
 
 TEST(Machine, ComputeUsesPerThreadMax) {
