@@ -45,6 +45,19 @@ KMeansResult kmeans_far(Machine& m, std::span<const double> points,
 KMeansResult kmeans_near(Machine& m, std::span<const double> points,
                          const KMeansOptions& opt);
 
+// Out-of-core scratchpad version for point sets that do NOT fit in near
+// memory. A resident prefix of point tiles is staged once and stays in the
+// scratchpad across iterations; every iteration streams the remaining
+// tiles through staging buffers (double-buffered, with the DMA prefetch of
+// batch i+1 overlapping the classification of batch i when the machine has
+// an overlapping DMA engine). Degenerates to the fully resident
+// kmeans_near layout when everything fits. All three variants reduce over
+// fixed point tiles folded in global order, so centroids, inertia, and
+// assignments are bit-identical across far/near/staged for the same
+// options.
+KMeansResult kmeans_staged(Machine& m, std::span<const double> points,
+                           const KMeansOptions& opt);
+
 // Synthetic workload: `n` points in `dims` dimensions drawn from `k`
 // well-separated Gaussian-ish blobs — the standard clusterable input.
 std::vector<double> make_blobs(std::size_t n, std::size_t dims, std::size_t k,

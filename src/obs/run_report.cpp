@@ -487,6 +487,15 @@ void export_stats(const MachineStats& st, std::uint64_t line_bytes,
   reg.set_gauge("machine.host_seconds", t.host_seconds);
 }
 
+void export_stats(const StagerStats& st, MetricsRegistry& reg) {
+  reg.counter("stager.batches").add(st.batches);
+  reg.counter("stager.sync_bytes").add(st.sync_bytes);
+  reg.counter("stager.prefetch_batches").add(st.prefetch_batches);
+  reg.counter("stager.prefetch_bytes").add(st.prefetch_bytes);
+  reg.counter("stager.fallback_direct").add(st.fallback_direct);
+  reg.counter("stager.restarts").add(st.restarts);
+}
+
 void export_stats(const sim::SimReport& r, MetricsRegistry& reg) {
   for (const auto& [name, value] : r.counters()) {
     // Integral counters stay counters; rates/times become gauges.

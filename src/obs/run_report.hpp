@@ -105,6 +105,9 @@ std::vector<std::string> validate_report(const Json& j);
 // and the built-in accounting land in one namespace.
 void export_stats(const MachineStats& st, std::uint64_t line_bytes,
                   MetricsRegistry& reg);
+// Staged-streaming counters ("stager.batches", "stager.prefetch_bytes", ...)
+// from Machine::stager_stats() or an individual Stager::stats().
+void export_stats(const StagerStats& st, MetricsRegistry& reg);
 void export_stats(const sim::SimReport& r, MetricsRegistry& reg);
 
 }  // namespace tlm::obs

@@ -97,6 +97,31 @@ struct PhaseStats {
   }
 };
 
+// Observables of the staged-streaming primitive (scratchpad/stager.hpp):
+// how many batches flowed through staging buffers, how the gather traffic
+// split between synchronous core copies and DMA-engine prefetches, and how
+// often the oversized-item escape hatch fired. One StagerStats per Stager;
+// Machine::note_stager folds them into a machine-lifetime aggregate that
+// the observability layer exports alongside PhaseStats.
+struct StagerStats {
+  std::uint64_t batches = 0;          // items processed out of a buffer
+  std::uint64_t sync_bytes = 0;       // gathered synchronously by cores
+  std::uint64_t prefetch_batches = 0;
+  std::uint64_t prefetch_bytes = 0;   // gathered by the DMA engine
+  std::uint64_t fallback_direct = 0;  // oversized items processed from far
+  std::uint64_t restarts = 0;         // pipeline restarts after a fallback
+
+  StagerStats& operator+=(const StagerStats& o) {
+    batches += o.batches;
+    sync_bytes += o.sync_bytes;
+    prefetch_batches += o.prefetch_batches;
+    prefetch_bytes += o.prefetch_bytes;
+    fallback_direct += o.fallback_direct;
+    restarts += o.restarts;
+    return *this;
+  }
+};
+
 struct MachineStats {
   PhaseStats total;                // sums over all closed phases
   std::vector<PhaseStats> phases;  // in begin_phase order

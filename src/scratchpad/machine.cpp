@@ -247,6 +247,16 @@ void Machine::sync(std::size_t thread) {
   barrier_.arrive_and_wait();
 }
 
+void Machine::note_stager(const StagerStats& s) {
+  MutexLock lock(alloc_mu_);
+  stager_totals_ += s;
+}
+
+StagerStats Machine::stager_stats() const {
+  MutexLock lock(alloc_mu_);
+  return stager_totals_;
+}
+
 void Machine::run_spmd(const std::function<void(std::size_t)>& fn) {
   pool_.run_spmd(fn);
   if (sink_) {

@@ -114,6 +114,12 @@ class Machine {
   // Full barrier across all p workers; also recorded in the trace.
   void sync(std::size_t thread);
 
+  // Folds a finished Stager's counters into the machine-lifetime aggregate
+  // (called by Stager::release; algorithms never call this directly).
+  void note_stager(const StagerStats& s);
+  // Aggregate over every stager that has released on this machine.
+  StagerStats stager_stats() const;
+
   // SPMD section with an implicit join barrier: runs fn(worker) on every
   // worker, waits, and records one barrier marker per thread so the trace
   // replay preserves the fork/join dependency structure. All parallel
@@ -182,6 +188,7 @@ class Machine {
   };
   std::map<const std::byte*, FarRegion> far_regions_ TLM_GUARDED_BY(alloc_mu_);
   std::uint64_t next_far_vbase_ TLM_GUARDED_BY(alloc_mu_) = trace::kFarBase;
+  StagerStats stager_totals_ TLM_GUARDED_BY(alloc_mu_);
 
 #if TLM_MODEL_CHECKS_ENABLED
   // Shadow per-allocation state for the model sanitizer: which phase an

@@ -32,6 +32,7 @@
 #include "common/math.hpp"
 #include "common/units.hpp"
 #include "scratchpad/machine.hpp"
+#include "scratchpad/stager.hpp"
 #include "sort/merge.hpp"
 #include "sort/multiway_sort.hpp"
 #include "sort/runs.hpp"
@@ -320,124 +321,88 @@ void nm_sort_into(Machine& m, std::span<const T> input, std::span<T> output,
       return bucket_pos.data() + c * (nb + 1);
     };
 
-    // Batch plan: greedy largest bucket prefix fitting one staging buffer.
-    struct Batch {
-      std::size_t r = 0, k = 0;    // bucket range [r, k)
-      std::uint64_t elems = 0;
-      bool oversized = false;      // single bucket larger than the buffer
-    };
+    // Batch plan: greedy largest bucket prefix fitting one staging buffer,
+    // with the oversized-bucket escape hatch (a single bucket larger than
+    // the buffer is merged directly from far memory — correct, just
+    // without the bandwidth advantage). Stager::plan is the same greedy
+    // packing this function used to hand-roll.
     const std::uint64_t cap = std::min<std::uint64_t>(g.batch_elems, n);
-    std::vector<Batch> batches;
-    for (std::size_t r = 0; r < nb;) {
-      std::size_t k = r;
-      std::uint64_t acc = 0;
-      while (k < nb && acc + bucket_tot[k] <= cap) {
-        acc += bucket_tot[k];
-        ++k;
-      }
-      if (k == r) {
-        // One bucket exceeds the staging buffer: merged directly from far
-        // memory (correct, just without the bandwidth advantage).
-        batches.push_back(Batch{r, r + 1, bucket_tot[r], true});
-        r = r + 1;
-      } else {
-        batches.push_back(Batch{r, k, acc, false});
-        r = k;
-      }
-    }
+    std::vector<std::uint64_t> bucket_bytes(nb);
+    for (std::size_t i = 0; i < nb; ++i)
+      bucket_bytes[i] = bucket_tot[i] * sizeof(T);
+    const std::vector<Stager::Range> batches =
+        Stager::plan(bucket_bytes, cap * sizeof(T));
 
     // A gather is a fixed set of (source slice, staging offset) pairs; the
-    // same plan drives both the synchronous copy and the DMA prefetch.
-    struct GatherSlice {
-      const T* src;
-      std::uint64_t off, len;  // elements, into the staging buffer
-    };
-    auto slices_of = [&](const Batch& bt) {
-      std::vector<GatherSlice> s;
-      s.reserve(static_cast<std::size_t>(g.nchunks));
-      std::uint64_t fill = 0;
-      for (std::uint64_t c = 0; c < g.nchunks; ++c) {
-        const T* base = runs_area.data() + c * g.chunk_elems;
-        const std::uint64_t lo = row(c)[bt.r], hi = row(c)[bt.k];
-        if (lo >= hi) continue;
-        s.push_back(GatherSlice{base + lo, fill, hi - lo});
-        fill += hi - lo;
+    // same descriptors drive both the synchronous copy and the DMA
+    // prefetch, so each batch's slices are computed once, up front.
+    std::vector<Stager::Item> items;
+    items.reserve(batches.size());
+    for (std::size_t bi = 0; bi < batches.size(); ++bi) {
+      const Stager::Range& bt = batches[bi];
+      Stager::Item it;
+      it.index = bi;
+      it.bytes = bt.bytes;
+      it.oversized = bt.oversized;
+      if (!bt.oversized) {
+        std::uint64_t fill = 0;
+        for (std::uint64_t c = 0; c < g.nchunks; ++c) {
+          const T* base = runs_area.data() + c * g.chunk_elems;
+          const std::uint64_t lo = row(c)[bt.first], hi = row(c)[bt.last];
+          if (lo >= hi) continue;
+          it.slices.push_back(Stager::slice_of(base + lo, fill, hi - lo));
+          fill += hi - lo;
+        }
+        TLM_CHECK(fill * sizeof(T) == bt.bytes, "batch gather size mismatch");
       }
-      TLM_CHECK(fill == bt.elems, "batch gather size mismatch");
-      return s;
-    };
+      items.push_back(std::move(it));
+    }
 
+    // The Stager owns the whole staging recipe: double-buffering when two
+    // batch buffers fit the usable scratchpad, per-worker DMA prefetch of
+    // batch i+1 posted through the merge's per_worker hook (the merge
+    // SPMD's join barrier is the transfer's completion fence), synchronous
+    // gathers for the first batch and whenever the pipeline is cold, and
+    // the restart after an oversized far-merge batch.
     const std::uint64_t usable = m.config().near_capacity - g.meta_bytes;
-    const bool pipelined = m.config().overlap_dma && batches.size() > 1 &&
-                           2 * cap * sizeof(T) <= usable;
-    std::span<T> bufs[2];
-    bufs[0] = m.alloc_array<T>(Space::Near, static_cast<std::size_t>(cap));
-    if (pipelined)
-      bufs[1] = m.alloc_array<T>(Space::Near, static_cast<std::size_t>(cap));
+    Stager::Options sopt;
+    sopt.buffer_bytes = cap * sizeof(T);
+    sopt.elem_bytes = sizeof(T);
+    sopt.double_buffer = 2 * cap * sizeof(T) <= usable;
+    sopt.gather = Stager::Gather::kParallel;
+    sopt.worker_hook = true;
+    Stager stager(m, sopt);
 
     std::uint64_t out_off = 0;
-    std::size_t cur = 0;       // staging buffer batch bi reads from
-    bool prefetched = false;   // bufs[cur] already holds batch bi's data
-    for (std::size_t bi = 0; bi < batches.size(); ++bi) {
-      const Batch& bt = batches[bi];
-      if (bt.oversized) {
+    stager.run(items, [&](const Stager::Item& it, std::byte* data,
+                          const Stager::WorkerHook& prefetch) {
+      const Stager::Range& bt = batches[it.index];
+      const std::uint64_t elems = bt.bytes / sizeof(T);
+      if (data == nullptr) {
         std::vector<Run<T>> far_runs;
         for (std::uint64_t c = 0; c < g.nchunks; ++c) {
           const T* base = runs_area.data() + c * g.chunk_elems;
-          const std::uint64_t lo = row(c)[bt.r], hi = row(c)[bt.k];
+          const std::uint64_t lo = row(c)[bt.first], hi = row(c)[bt.last];
           if (lo < hi) far_runs.push_back(Run<T>{base + lo, base + hi});
         }
-        parallel_multiway_merge(m, far_runs, output.subspan(out_off, bt.elems),
+        parallel_multiway_merge(m, far_runs, output.subspan(out_off, elems),
                                 cmp, opt.merge);
-        out_off += bt.elems;
-        // The staging pipeline restarts after a far-merge batch: the next
-        // staged batch was never prefetched, so it gathers synchronously.
-        continue;
+        out_off += elems;
+        return;
       }
-
-      const std::vector<GatherSlice> slices = slices_of(bt);
-      T* dst = bufs[cur].data();
-      if (!prefetched) {
-        // Synchronous gather: the first staged batch, any batch following
-        // an oversized far-merge batch, and every batch when the machine
-        // has no overlapping DMA engine.
-        for (const auto& s : slices)
-          detail::parallel_copy(m, dst + s.off, s.src, s.len);
-      }
+      T* dst = reinterpret_cast<T*>(data);
       std::vector<Run<T>> near_runs;
-      near_runs.reserve(slices.size());
-      for (const auto& s : slices)
-        near_runs.push_back(Run<T>{dst + s.off, dst + s.off + s.len});
-
-      // Post the next staged batch's gather from inside the merge SPMD so
-      // the DMA engine fills the other buffer while every thread merges.
-      std::function<void(std::size_t)> prefetch;
-      if (pipelined && bi + 1 < batches.size() && !batches[bi + 1].oversized) {
-        T* ndst = bufs[cur ^ 1].data();
-        prefetch = [&m, ndst, nslices = slices_of(batches[bi + 1])](
-                       std::size_t w) {
-          for (const auto& s : nslices) {
-            auto [lo, hi] = ThreadPool::chunk(
-                static_cast<std::size_t>(s.len), w, m.threads());
-            if (lo < hi)
-              m.dma_copy(w, ndst + s.off + lo, s.src + lo,
-                         static_cast<std::uint64_t>(hi - lo) * sizeof(T));
-          }
-        };
+      near_runs.reserve(it.slices.size());
+      for (const auto& s : it.slices) {
+        T* p = dst + s.dst_off / sizeof(T);
+        near_runs.push_back(Run<T>{p, p + s.bytes / sizeof(T)});
       }
-      parallel_multiway_merge(m, near_runs, output.subspan(out_off, bt.elems),
+      parallel_multiway_merge(m, near_runs, output.subspan(out_off, elems),
                               cmp, opt.merge, prefetch);
-      out_off += bt.elems;
-      if (prefetch) {
-        prefetched = true;
-        cur ^= 1;
-      } else {
-        prefetched = false;
-      }
-    }
+      out_off += elems;
+    });
     TLM_CHECK(out_off == n, "phase 2 did not emit every element");
-    if (pipelined) m.free_array(Space::Near, bufs[1]);
-    m.free_array(Space::Near, bufs[0]);
+    stager.release();
     m.end_phase();
   } else {
     // ============== Naive eager-scatter variant (ablation) ===============

@@ -19,6 +19,7 @@
 
 #include "common/math.hpp"
 #include "scratchpad/machine.hpp"
+#include "scratchpad/stager.hpp"
 #include "sort/multiway_sort.hpp"
 #include "sort/runs.hpp"
 #include "sort/sample.hpp"
@@ -126,34 +127,43 @@ void sp_sort_rec(Machine& m, std::span<T> seg, const ScratchpadSortOptions& o,
   // group c+1 runs on the DMA while group c sorts. That costs a second
   // staging buffer, so shrink the group until two buffers plus the inner
   // sort's working area still fit: 3 * chunk <= 2 * fit_elems.
-  const bool pipelined = cfg.overlap_dma && n > chunk;
-  if (pipelined)
+  if (cfg.overlap_dma && n > chunk)
     chunk = std::max<std::uint64_t>(
         1024, std::min(chunk, 2 * fit_elems / 3));
   const std::uint64_t nchunks = ceil_div(n, chunk);
   std::vector<std::vector<std::uint64_t>> pos(
       static_cast<std::size_t>(nchunks));
-  std::span<T> buf = m.alloc_array<T>(Space::Near, std::min(chunk, n));
-  std::span<T> buf2 =
-      pipelined ? m.alloc_array<T>(Space::Near, std::min(chunk, n))
-                : std::span<T>{};
-  if (pipelined)  // the first group has nothing to hide behind
-    m.copy(0, buf.data(), seg.data(), std::min(chunk, n) * sizeof(T));
+  // The Stager owns the scan's staging: one near buffer when the machine
+  // has no overlapping engine (every group copied in synchronously), a
+  // lazily-allocated second buffer when it does — group c+1 rides the DMA,
+  // posted by this (sequential) orchestrator, while group c sorts out of
+  // the other buffer. This replaces the hand-rolled parity-buffer loop.
+  std::vector<Stager::Item> groups;
+  groups.reserve(static_cast<std::size_t>(nchunks));
   for (std::uint64_t c = 0; c < nchunks; ++c) {
     const std::uint64_t b = c * chunk;
     const std::uint64_t len = std::min(chunk, n - b);
-    std::span<T> cur = (pipelined && (c & 1)) ? buf2 : buf;
-    if (!pipelined) {
-      m.copy(0, cur.data(), seg.data() + b, len * sizeof(T));
-    } else if (c + 1 < nchunks) {
-      std::span<T> next = (c & 1) ? buf : buf2;
-      const std::uint64_t nlen = std::min(chunk, n - (c + 1) * chunk);
-      m.dma_copy(0, next.data(), seg.data() + (c + 1) * chunk,
-                 nlen * sizeof(T));
-    }
-    std::span<T> group = cur.subspan(0, len);
+    Stager::Item it;
+    it.index = static_cast<std::size_t>(c);
+    it.bytes = len * sizeof(T);
+    it.slices.push_back(Stager::slice_of(seg.data() + b, 0, len));
+    groups.push_back(std::move(it));
+  }
+  Stager::Options sopt;
+  sopt.buffer_bytes = std::min(chunk, n) * sizeof(T);
+  sopt.elem_bytes = sizeof(T);
+  sopt.double_buffer = true;  // engaged only under overlap_dma
+  sopt.gather = Stager::Gather::kSequential;
+  sopt.worker_hook = false;   // sequential pipeline: orchestrator posts DMA
+  Stager stager(m, sopt);
+  stager.run(groups, [&](const Stager::Item& it, std::byte* data,
+                         const Stager::WorkerHook&) {
+    const std::uint64_t b = static_cast<std::uint64_t>(it.index) * chunk;
+    const std::uint64_t len = it.bytes / sizeof(T);
+    std::span<T> group(reinterpret_cast<T*>(data),
+                       static_cast<std::size_t>(len));
     inner_sort(m, group, o, cmp);
-    auto& row = pos[static_cast<std::size_t>(c)];
+    auto& row = pos[it.index];
     row.resize(nb + 1);
     row[0] = 0;
     row[nb] = len;
@@ -162,11 +172,10 @@ void sp_sort_rec(Machine& m, std::span<T> seg, const ScratchpadSortOptions& o,
           charged_lower_bound(m, 0, group.data(), group.data() + len,
                               pivots[i - 1], cmp) -
           group.data());
-    m.copy(0, seg.data() + b, cur.data(), len * sizeof(T));
+    m.copy(0, seg.data() + b, group.data(), len * sizeof(T));
     ++report.bucketizing_scans;
-  }
-  if (pipelined) m.free_array(Space::Near, buf2);
-  m.free_array(Space::Near, buf);
+  });
+  stager.release();
   m.free_array(Space::Near, pivots);
 
   // --- gather buckets and recurse ------------------------------------------

@@ -64,6 +64,16 @@ def main():
         if needle not in text:
             fail(f"build-test steps must mention '{needle}'")
 
+    # Every job that compiles the tree must launch compilers through ccache
+    # and persist the cache across runs via actions/cache — a cold matrix
+    # rebuild dominates CI wall-clock otherwise.
+    for job_name in ("build-test", "sanitizers", "flake-detect",
+                     "model-check", "bench-smoke"):
+        jtext = steps_text(jobs[job_name])
+        for needle in ("ccache", "actions/cache"):
+            if needle not in jtext:
+                fail(f"{job_name} steps must mention '{needle}'")
+
     # sanitizers: ASan+UBSan everywhere, TSan on every `threaded`-labeled
     # suite (the shared label is applied in tests/CMakeLists.txt).
     san = steps_text(jobs["sanitizers"])
@@ -86,9 +96,11 @@ def main():
         if needle not in flake:
             fail(f"flake-detect steps must mention '{needle}'")
 
-    # lint: the project-invariant linter runs build-free.
+    # lint: the project-invariant linter runs build-free, and its own rule
+    # fixtures run first so a broken rule cannot silently pass the tree.
     lint = steps_text(jobs["lint"])
-    for needle in ("tools/tlm_lint.py", "check_ci_workflow.py"):
+    for needle in ("tools/tlm_lint.py", "check_ci_workflow.py",
+                   "--self-test"):
         if needle not in lint:
             fail(f"lint steps must mention '{needle}'")
 
@@ -112,6 +124,8 @@ def main():
         "--json",
         "report_diff --validate",
         "bench/baselines/table1_quick.json",
+        "kmeans_scratchpad",
+        "bench/baselines/kmeans_quick.json",
         "--warn-only",
         "actions/upload-artifact",
     ):

@@ -134,6 +134,101 @@ TEST(KMeans, AssignmentsOffByDefault) {
   EXPECT_TRUE(r.assignments.empty());
 }
 
+TEST(KMeans, StagedMatchesFarBitForBitBeyondNearCapacity) {
+  // 2x / 4x / 8x the scratchpad: the staged variant streams the tail tiles
+  // through Stager batches every iteration, yet the tile-ordered reduction
+  // keeps its arithmetic identical to the far baseline.
+  for (const std::size_t mult : {2u, 4u, 8u}) {
+    TwoLevelConfig cfg = km_config();
+    cfg.near_capacity = 256 * KiB;
+    cfg.overlap_dma = true;
+    const std::size_t n = mult * (256 * KiB) / (4 * sizeof(double));
+    const auto pts = make_blobs(n, 4, 8, 31);
+    Machine mf(km_config());
+    Machine ms(cfg);
+    KMeansOptions o = opts(8, 4);
+    const auto rf = kmeans_far(mf, pts, o);
+    const auto rs = kmeans_staged(ms, pts, o);
+    EXPECT_EQ(rf.iterations, rs.iterations) << "mult=" << mult;
+    EXPECT_DOUBLE_EQ(rf.inertia, rs.inertia) << "mult=" << mult;
+    EXPECT_EQ(rf.centroids, rs.centroids) << "mult=" << mult;
+    // The staged run actually staged: batches flowed through the pipeline
+    // and (with overlap) most of the tail traffic rode the DMA engine.
+    const StagerStats ss = ms.stager_stats();
+    EXPECT_GT(ss.batches, 0u) << "mult=" << mult;
+    EXPECT_GT(ss.prefetch_bytes, 0u) << "mult=" << mult;
+    EXPECT_EQ(ss.fallback_direct, 0u) << "mult=" << mult;
+  }
+}
+
+TEST(KMeans, StagedMatchesNearWhenEverythingFits) {
+  const auto pts = make_blobs(20000, 4, 8, 3);
+  Machine mn(km_config());
+  Machine ms(km_config());
+  const auto rn = kmeans_near(mn, pts, opts(8, 4));
+  const auto rs = kmeans_staged(ms, pts, opts(8, 4));
+  EXPECT_EQ(rn.iterations, rs.iterations);
+  EXPECT_DOUBLE_EQ(rn.inertia, rs.inertia);
+  EXPECT_EQ(rn.centroids, rs.centroids);
+  // Degenerate case: the whole point set is resident, nothing staged.
+  EXPECT_EQ(ms.stager_stats().batches, 0u);
+}
+
+TEST(KMeans, StagedWorksWithoutDmaOverlap) {
+  TwoLevelConfig cfg = km_config();
+  cfg.near_capacity = 256 * KiB;
+  cfg.overlap_dma = false;  // single staging buffer, synchronous gathers
+  const std::size_t n = 4 * (256 * KiB) / (4 * sizeof(double));
+  const auto pts = make_blobs(n, 4, 8, 33);
+  Machine mf(km_config());
+  Machine ms(cfg);
+  const auto rf = kmeans_far(mf, pts, opts(8, 4));
+  const auto rs = kmeans_staged(ms, pts, opts(8, 4));
+  EXPECT_EQ(rf.centroids, rs.centroids);
+  EXPECT_DOUBLE_EQ(rf.inertia, rs.inertia);
+  const StagerStats ss = ms.stager_stats();
+  EXPECT_GT(ss.batches, 0u);
+  EXPECT_EQ(ss.prefetch_bytes, 0u);
+  EXPECT_GT(ss.sync_bytes, 0u);
+  EXPECT_EQ(ms.stats().total.dma_bytes(), 0u);
+}
+
+TEST(KMeans, StagedAssignmentsMatchFar) {
+  TwoLevelConfig cfg = km_config();
+  cfg.near_capacity = 256 * KiB;
+  cfg.overlap_dma = true;
+  const std::size_t n = 2 * (256 * KiB) / (4 * sizeof(double));
+  const auto pts = make_blobs(n, 4, 4, 37);
+  Machine mf(km_config());
+  Machine ms(cfg);
+  KMeansOptions o = opts(4, 4);
+  o.produce_assignments = true;
+  const auto rf = kmeans_far(mf, pts, o);
+  const auto rs = kmeans_staged(ms, pts, o);
+  EXPECT_EQ(rf.assignments, rs.assignments);
+}
+
+TEST(KMeans, ForgyInitDrawsDistinctSeeds) {
+  // Regression: with n barely above k, sampling indices with replacement
+  // used to seed two centroids on the same point, permanently losing a
+  // cluster. With distinct draws and n == k every point becomes its own
+  // centroid and the first iteration already has zero inertia.
+  const std::size_t k = 8;
+  std::vector<double> pts;
+  for (std::size_t i = 0; i < k; ++i) {
+    pts.push_back(static_cast<double>(i * 13 % 29));
+    pts.push_back(static_cast<double>(i * 7 % 23));
+  }
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 77ull, 1234567ull}) {
+    Machine m(km_config());
+    KMeansOptions o = opts(k, 2);
+    o.seed = seed;
+    const auto r = kmeans_far(m, pts, o);
+    EXPECT_TRUE(r.converged) << "seed=" << seed;
+    EXPECT_DOUBLE_EQ(r.inertia, 0.0) << "seed=" << seed;
+  }
+}
+
 TEST(KMeans, RejectsOversizedNearOperand) {
   TwoLevelConfig cfg = km_config();
   cfg.near_capacity = 1 * MiB;

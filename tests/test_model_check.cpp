@@ -12,7 +12,9 @@
 #include <span>
 #include <vector>
 
+#include "kmeans/kmeans.hpp"
 #include "scratchpad/machine.hpp"
+#include "scratchpad/stager.hpp"
 #include "sort/sort.hpp"
 
 #if !TLM_MODEL_CHECKS_ENABLED
@@ -129,6 +131,38 @@ TEST_F(ModelSanitizerDeath, SecondStagingBufferLeakFires) {
   m.free_array(Space::Near, bufs1);
 }
 
+TEST_F(ModelSanitizerDeath, StagerSecondBufferLeakFires) {
+  // The Stager's front buffer is born before the phase (exempt), but its
+  // back buffer is allocated lazily by the first prefetch — inside the
+  // explicit phase. Forgetting release() before end_phase() must therefore
+  // trip the sanitizer on precisely the prefetch buffer.
+  TwoLevelConfig c = tiny();
+  c.overlap_dma = true;
+  Machine m(c);
+  std::vector<std::uint64_t> src(512);
+  m.adopt_far(src.data(), src.size() * 8);
+
+  Stager::Options opt;
+  opt.buffer_bytes = 256 * 8;
+  opt.elem_bytes = 8;
+  opt.worker_hook = false;  // threads=1: orchestrator posts the prefetch
+  Stager st(m, opt);
+
+  std::vector<Stager::Item> items;
+  for (std::size_t i = 0; i < 2; ++i) {
+    Stager::Item it;
+    it.index = i;
+    it.bytes = 256 * 8;
+    it.slices.push_back(Stager::slice_of(src.data() + i * 256, 0, 256));
+    items.push_back(std::move(it));
+  }
+  m.begin_phase("staged");
+  st.run(items, [](const Stager::Item&, std::byte*, const Stager::WorkerHook&) {});
+  EXPECT_DEATH(m.end_phase(), "model\\.phase_leak");
+  st.release();
+  m.end_phase();  // clean once the buffers are gone
+}
+
 TEST_F(ModelSanitizerDeath, RetainAcrossPhasesSuppressesLeak) {
   Machine m(tiny());
   m.begin_phase("setup");
@@ -223,6 +257,25 @@ TEST(ModelSanitizerClean, PipelinedNmSortConforms) {
                      std::span<std::uint64_t>(out));
   m.end_phase();
   EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(ModelSanitizerClean, StagedKMeansConforms) {
+  // Out-of-core k-means stages a resident prefix plus two streaming
+  // buffers; all three must be gone when the phase closes.
+  TwoLevelConfig c = tiny();
+  c.threads = 2;
+  c.overlap_dma = true;
+  Machine m(c);
+  const auto pts =
+      kmeans::make_blobs(4 * (1 * MiB) / (4 * 8), 4, 4, 19);  // 4x capacity
+  kmeans::KMeansOptions o;
+  o.k = 4;
+  o.dims = 4;
+  o.max_iters = 3;
+  o.tol = 0;
+  const auto r = kmeans::kmeans_staged(m, pts, o);
+  EXPECT_EQ(r.iterations, 3u);
+  EXPECT_GT(m.stager_stats().batches, 0u);
 }
 
 TEST(ModelSanitizerClean, ScratchpadSortConforms) {

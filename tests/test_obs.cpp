@@ -274,6 +274,25 @@ TEST(RunReport, ExportStatsLandsInRegistry) {
             report.runs[0].counting.far_accesses(report.runs[0].line_bytes));
 }
 
+TEST(RunReport, ExportStagerStatsLandsInRegistry) {
+  StagerStats st;
+  st.batches = 7;
+  st.sync_bytes = 4096;
+  st.prefetch_batches = 6;
+  st.prefetch_bytes = 24576;
+  st.fallback_direct = 1;
+  st.restarts = 1;
+  obs::MetricsRegistry reg;
+  obs::export_stats(st, reg);
+  const auto counters = reg.counters();
+  EXPECT_EQ(counters.at("stager.batches"), 7u);
+  EXPECT_EQ(counters.at("stager.sync_bytes"), 4096u);
+  EXPECT_EQ(counters.at("stager.prefetch_batches"), 6u);
+  EXPECT_EQ(counters.at("stager.prefetch_bytes"), 24576u);
+  EXPECT_EQ(counters.at("stager.fallback_direct"), 1u);
+  EXPECT_EQ(counters.at("stager.restarts"), 1u);
+}
+
 // ---------------------------------------------------------------- diff
 
 TEST(Diff, IdenticalReportsAreClean) {

@@ -23,13 +23,19 @@ textually over src/:
   include-hygiene    #pragma once in headers, no "../" includes, no
                      <bits/...> internals, quoted includes must resolve
                      under src/.
+  hand-rolled-staging  No function outside src/scratchpad/ that allocates
+                     two Space::Near staging buffers AND posts dma_copy
+                     transfers — that is a hand-rolled double-buffered
+                     pipeline; use the Stager primitive
+                     (scratchpad/stager.hpp), which owns buffer parity,
+                     the completion fence, and the counters.
 
 Escape hatches (always give a reason after a colon):
 
   // tlm-lint: allow(<rule>): why            -- this line or the next line
   // tlm-lint: allow-file(<rule>): why       -- whole file
 
-Usage: tlm_lint.py [--root REPO_ROOT] [--list-rules]
+Usage: tlm_lint.py [--root REPO_ROOT] [--list-rules] [--self-test]
 Exit status: 0 clean, 1 findings, 2 usage error.
 """
 
@@ -68,6 +74,10 @@ RE_BANNED = re.compile(
     r"(?<![\w:.])(rand|srand|sprintf|vsprintf|strcpy|strcat|strtok|gets)\s*\("
 )
 RE_INCLUDE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
+RE_NEAR_ALLOC = re.compile(
+    r"\b(?:alloc_array\s*<[^;({]*>|alloc)\s*\(\s*Space::Near\b")
+RE_DMA_CALL = re.compile(r"\bdma_copy\s*\(")
+RE_BLOCK_KEYWORD = re.compile(r"\b(namespace|struct|class|enum|union)\b")
 
 # Matches string/char literals and comments so content rules don't fire on
 # prose. Order matters: literals first, then comments.
@@ -90,6 +100,51 @@ def scrub(line):
 
 def rel(path, root):
     return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+def staging_violations(scrubbed):
+    """Finds hand-rolled staging pipelines: function bodies holding >= 2
+    Space::Near allocations plus a dma_copy call.
+
+    A lightweight brace scanner: a brace group whose header contains a
+    parenthesized parameter list and no type/namespace keyword is treated as
+    one function region (nested blocks and lambdas merge into it). Returns
+    the line number of the first dma_copy in each offending region.
+    """
+    out = []
+    depth = 0
+    fn_depth = None  # brace depth at which the open function region started
+    near = 0
+    dma = []
+    header = []  # code seen since the last statement boundary at outer scope
+    for lineno, line in enumerate(scrubbed, start=1):
+        if fn_depth is not None:
+            near += len(RE_NEAR_ALLOC.findall(line))
+            dma.extend(lineno for _ in RE_DMA_CALL.finditer(line))
+        for ch in line:
+            if ch == "{":
+                if fn_depth is None:
+                    h = "".join(header)
+                    if ("(" in h and ")" in h
+                            and not RE_BLOCK_KEYWORD.search(h)):
+                        fn_depth = depth
+                        near = 0
+                        dma = []
+                    header = []
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if fn_depth is not None and depth <= fn_depth:
+                    if near >= 2 and dma:
+                        out.append(dma[0])
+                    fn_depth = None
+                header = []
+            elif ch == ";":
+                if fn_depth is None:
+                    header = []
+            elif fn_depth is None:
+                header.append(ch)
+    return out
 
 
 class Linter:
@@ -185,6 +240,14 @@ class Linter:
                 self.report(path, i, "banned-function",
                             f"banned function {name}()", lines, file_allows)
 
+        if not in_scratchpad:
+            for lineno in staging_violations(scrubbed):
+                self.report(
+                    path, lineno, "hand-rolled-staging",
+                    "two Space::Near staging buffers plus dma_copy in one "
+                    "function — use the Stager primitive "
+                    "(scratchpad/stager.hpp)", lines, file_allows)
+
     def run(self):
         for dirpath, _, filenames in os.walk(self.src):
             for fn in sorted(filenames):
@@ -195,20 +258,142 @@ class Linter:
 
 RULES = [
     "raw-thread", "raw-alloc", "unaccounted-buffer", "counters-mutation",
-    "banned-function", "include-hygiene",
+    "banned-function", "include-hygiene", "hand-rolled-staging",
 ]
+
+
+# --self-test fixtures: (name, path-under-root, expected rule or None, code).
+SELF_TEST_FIXTURES = [
+    (
+        "staging-two-near-buffers-and-dma-fires",
+        "src/foo/pipeline.cpp",
+        "hand-rolled-staging",
+        """\
+void pipelined_gather(Machine& m, std::uint64_t cap) {
+  auto buf0 = m.alloc_array<std::byte>(Space::Near, cap);
+  auto buf1 = m.alloc_array<std::byte>(Space::Near, cap);
+  m.dma_copy(0, buf1.data(), src, cap);
+  m.dealloc(Space::Near, buf0.data());
+  m.dealloc(Space::Near, buf1.data());
+}
+""",
+    ),
+    (
+        "staging-lambda-in-function-still-fires",
+        "src/foo/pipeline2.cpp",
+        "hand-rolled-staging",
+        """\
+void pipelined(Machine& m, std::uint64_t cap) {
+  std::byte* bufs[2] = {m.alloc(Space::Near, cap),
+                        m.alloc(Space::Near, cap)};
+  auto hook = [&](std::size_t w) {
+    m.dma_copy(w, bufs[1], src, cap);
+  };
+  run(hook);
+}
+""",
+    ),
+    (
+        "staging-single-buffer-is-clean",
+        "src/foo/single.cpp",
+        None,
+        """\
+void single_buffer(Machine& m, std::uint64_t cap) {
+  auto buf = m.alloc_array<std::byte>(Space::Near, cap);
+  m.dma_copy(0, buf.data(), src, cap);
+}
+""",
+    ),
+    (
+        "staging-split-across-functions-is-clean",
+        "src/foo/split.cpp",
+        None,
+        """\
+void make_buffers(Machine& m, std::uint64_t cap) {
+  auto buf0 = m.alloc_array<std::byte>(Space::Near, cap);
+  auto buf1 = m.alloc_array<std::byte>(Space::Near, cap);
+}
+void post(Machine& m, std::byte* dst, std::uint64_t cap) {
+  m.dma_copy(0, dst, src, cap);
+}
+""",
+    ),
+    (
+        "staging-inside-scratchpad-is-exempt",
+        "src/scratchpad/stager_impl.cpp",
+        None,
+        """\
+void Stager::pipeline(std::uint64_t cap) {
+  bufs_[0] = m_.alloc(Space::Near, cap);
+  bufs_[1] = m_.alloc(Space::Near, cap);
+  m_.dma_copy(0, bufs_[1], src, cap);
+}
+""",
+    ),
+    (
+        "staging-allow-escape-hatch",
+        "src/foo/allowed.cpp",
+        None,
+        """\
+void pipelined_gather(Machine& m, std::uint64_t cap) {
+  auto buf0 = m.alloc_array<std::byte>(Space::Near, cap);
+  auto buf1 = m.alloc_array<std::byte>(Space::Near, cap);
+  // tlm-lint: allow(hand-rolled-staging): fixture exercising the escape
+  m.dma_copy(0, buf1.data(), src, cap);
+}
+""",
+    ),
+    (
+        "raw-thread-harness-check",
+        "src/foo/thread.cpp",
+        "raw-thread",
+        """\
+void spawn() { std::thread t([] {}); t.join(); }
+""",
+    ),
+]
+
+
+def self_test():
+    """Runs the embedded fixtures through the Linter; 0 on success."""
+    import tempfile
+
+    failures = []
+    for name, path, expect_rule, code in SELF_TEST_FIXTURES:
+        with tempfile.TemporaryDirectory() as td:
+            full = os.path.join(td, path)
+            os.makedirs(os.path.dirname(full), exist_ok=True)
+            with open(full, "w", encoding="utf-8") as f:
+                f.write(code)
+            findings = Linter(td).run()
+        if expect_rule is None:
+            if findings:
+                failures.append(f"{name}: expected clean, got {findings}")
+        elif not any(f"[{expect_rule}]" in fi for fi in findings):
+            failures.append(
+                f"{name}: expected a [{expect_rule}] finding, got {findings}")
+    for f in failures:
+        print(f"tlm-lint self-test FAIL: {f}")
+    if not failures:
+        print(f"tlm-lint self-test: {len(SELF_TEST_FIXTURES)} fixtures ok")
+    return 1 if failures else 0
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--root", default=".", help="repository root")
     ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the embedded rule fixtures and exit")
     args = ap.parse_args()
 
     if args.list_rules:
         for r in RULES:
             print(r)
         return 0
+
+    if args.self_test:
+        return self_test()
 
     root = os.path.abspath(args.root)
     if not os.path.isdir(os.path.join(root, "src")):
