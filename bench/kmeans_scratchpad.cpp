@@ -48,6 +48,7 @@ void record_counting(obs::RunReport& report, const std::string& name,
   rec.set_counting(m.stats(), m.config().block_bytes);
   obs::MetricsRegistry reg;
   obs::export_stats(m.stager_stats(), reg);
+  obs::export_stats(m.fault_stats(), reg);
   rec.add_metrics(reg);
 }
 

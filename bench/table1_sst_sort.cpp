@@ -87,6 +87,9 @@ int run(const bench::Flags& flags) {
       rec.set_counting(r.counting, cfg.block_bytes);
       rec.wall_seconds = r.host_seconds;
       rec.gauges["verified"] = r.verified ? 1.0 : 0.0;
+      obs::MetricsRegistry reg;
+      obs::export_stats(r.faults, reg);
+      rec.add_metrics(reg);
     } else {
       const analysis::SimulatedSort s =
           analysis::simulate_sort(c.rho, cores, n, near_cap, c.algo, seed);
@@ -102,6 +105,9 @@ int run(const bench::Flags& flags) {
       rec.set_sim(s.report);
       rec.wall_seconds = s.counting.host_seconds;
       rec.gauges["verified"] = s.counting.verified ? 1.0 : 0.0;
+      obs::MetricsRegistry reg;
+      obs::export_stats(s.counting.faults, reg);
+      rec.add_metrics(reg);
       std::cout << "  [" << c.name << "] simulated (" << s.report.events
                 << " events), sorted output verified="
                 << (s.counting.verified ? "yes" : "NO") << "\n";

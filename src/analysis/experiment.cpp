@@ -30,8 +30,10 @@ const char* to_string(Algorithm a) {
 namespace {
 
 SortRun run_with_sink(const TwoLevelConfig& cfg, Algorithm a, std::uint64_t n,
-                      std::uint64_t seed, trace::TraceSink* sink) {
+                      std::uint64_t seed, trace::TraceSink* sink,
+                      FaultInjector* faults = nullptr) {
   Machine m(cfg, sink);
+  m.set_fault_injector(faults);
   std::vector<std::uint64_t> keys =
       random_keys(static_cast<std::size_t>(n), seed);
   std::vector<std::uint64_t> expect = keys;
@@ -82,6 +84,7 @@ SortRun run_with_sink(const TwoLevelConfig& cfg, Algorithm a, std::uint64_t n,
   r.verified = verified;
   m.end_phase();
   r.counting = m.stats();
+  r.faults = m.fault_stats();
   r.modeled_seconds = r.counting.total.seconds;
   // tlm-lint: allow(counters-mutation): SortRun's own wall-clock echo field.
   r.host_seconds = std::chrono::duration<double>(t1 - t0).count();
@@ -91,8 +94,9 @@ SortRun run_with_sink(const TwoLevelConfig& cfg, Algorithm a, std::uint64_t n,
 }  // namespace
 
 SortRun run_sort_counting(const TwoLevelConfig& cfg, Algorithm a,
-                          std::uint64_t n, std::uint64_t seed) {
-  return run_with_sink(cfg, a, n, seed, nullptr);
+                          std::uint64_t n, std::uint64_t seed,
+                          FaultInjector* faults) {
+  return run_with_sink(cfg, a, n, seed, nullptr, faults);
 }
 
 CaptureRun capture_sort_trace(const TwoLevelConfig& cfg, Algorithm a,

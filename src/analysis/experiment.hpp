@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/faults.hpp"
 #include "scratchpad/config.hpp"
 #include "scratchpad/counters.hpp"
 #include "sim/system.hpp"
@@ -37,13 +38,18 @@ struct SortRun {
   double rho = 1.0;
   bool verified = false;   // output checked against std::sort
   MachineStats counting;   // analytic traffic + modeled time
+  FaultStats faults;       // injected faults / retries / fallbacks observed
   double modeled_seconds = 0;
   double host_seconds = 0;  // real wall-clock of the native run
 };
 
-// Runs `a` on `n` random 64-bit keys under the counting backend.
+// Runs `a` on `n` random 64-bit keys under the counting backend. An
+// optional fault injector (not owned) is attached to the machine for the
+// duration of the run — the chaos harness drives every algorithm through
+// this one entry point.
 SortRun run_sort_counting(const TwoLevelConfig& cfg, Algorithm a,
-                          std::uint64_t n, std::uint64_t seed);
+                          std::uint64_t n, std::uint64_t seed,
+                          FaultInjector* faults = nullptr);
 
 struct CaptureRun {
   SortRun counting;          // the counting-side view of the same run

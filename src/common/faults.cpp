@@ -1,0 +1,93 @@
+#include "common/faults.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+
+namespace tlm {
+
+ScratchpadError::ScratchpadError(std::string site,
+                                 std::uint64_t requested_bytes,
+                                 std::uint64_t available_bytes,
+                                 std::size_t thread)
+    : site_(std::move(site)),
+      requested_(requested_bytes),
+      available_(available_bytes),
+      thread_(thread) {
+  what_ = "scratchpad exhausted at " + site_ + ": requested " +
+          std::to_string(requested_) + " bytes, " +
+          std::to_string(available_) + " free (thread " +
+          std::to_string(thread_) + ")";
+}
+
+void FaultInjector::arm(std::string site, FaultSchedule schedule) {
+  MutexLock lock(mu_);
+  // Re-arming resets the occurrence counter: a new schedule starts a new
+  // deterministic sequence.
+  sites_.insert_or_assign(std::move(site), SiteState{schedule, SiteStats{}});
+}
+
+void FaultInjector::disarm(const std::string& site) {
+  MutexLock lock(mu_);
+  sites_.erase(site);
+}
+
+bool FaultInjector::decide(const FaultSchedule& s, const std::string& site,
+                           std::uint64_t occurrence) const {
+  if (s.always) return true;
+  if (s.nth && occurrence == s.nth) return true;
+  if (s.burst_len && occurrence >= s.burst_start &&
+      occurrence < s.burst_start + s.burst_len)
+    return true;
+  if (s.probability > 0) {
+    // Pure function of (seed, site, occurrence): FNV-mix the site name into
+    // the seed, then one splitmix64 step keyed by the occurrence index.
+    std::uint64_t h = seed_ ^ 0xcbf29ce484222325ULL;
+    for (const char c : site)
+      h = (h ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ULL;
+    SplitMix64 sm(h ^ (occurrence * 0x9e3779b97f4a7c15ULL));
+    const double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+    return u < s.probability;
+  }
+  return false;
+}
+
+bool FaultInjector::should_fail(const std::string& site) {
+  MutexLock lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  SiteState& st = it->second;
+  const std::uint64_t occurrence = ++st.stats.checks;
+  if (!decide(st.schedule, site, occurrence)) return false;
+  ++st.stats.fired;
+  return true;
+}
+
+double FaultInjector::consult_stall(const std::string& site) {
+  MutexLock lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return 0;
+  SiteState& st = it->second;
+  const std::uint64_t occurrence = ++st.stats.checks;
+  if (!decide(st.schedule, site, occurrence)) return 0;
+  ++st.stats.fired;
+  return st.schedule.stall_seconds;
+}
+
+FaultInjector::SiteStats FaultInjector::site_stats(
+    const std::string& site) const {
+  MutexLock lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? SiteStats{} : it->second.stats;
+}
+
+void fault_fatal(const char* rule, const std::string& site,
+                 const std::string& detail) {
+  std::fprintf(stderr, "tlm fault injector: rule=%s site=%s\n  %s\n", rule,
+               site.c_str(), detail.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace tlm

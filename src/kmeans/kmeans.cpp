@@ -282,13 +282,18 @@ KMeansResult kmeans_staged(Machine& m, std::span<const double> points,
   const std::size_t r_pts = std::min(n, resident_tiles * kTilePoints);
   std::span<double> resident;
   if (r_pts > 0) {
-    resident = m.alloc_array<double>(Space::Near, r_pts * d);
-    m.run_spmd([&](std::size_t w) {
-      auto [lo, hi] = ThreadPool::chunk(r_pts * d, w, m.threads());
-      if (lo < hi)
-        m.copy(w, resident.data() + lo, points.data() + lo,
-               (hi - lo) * sizeof(double));
-    });
+    // Under near pressure (genuine or injected) the resident prefix simply
+    // stays in far memory and is reread from there every sweep — slower,
+    // but the tile-ordered reduction keeps the result bit-identical.
+    resident = m.try_alloc_array_near<double>(r_pts * d);
+    if (!resident.empty()) {
+      m.run_spmd([&](std::size_t w) {
+        auto [lo, hi] = ThreadPool::chunk(r_pts * d, w, m.threads());
+        if (lo < hi)
+          m.copy(w, resident.data() + lo, points.data() + lo,
+                 (hi - lo) * sizeof(double));
+      });
+    }
   }
 
   // Tail tiles stream through the stager in tile-aligned batches; each
@@ -326,19 +331,23 @@ KMeansResult kmeans_staged(Machine& m, std::span<const double> points,
       m, points.data(), n, points, opt,
       [&](const std::vector<double>& centroids, TileAcc& acc) {
         if (r_pts > 0)
-          tile_pass(m, resident.data(), 0, resident_tiles, n, centroids, acc);
+          tile_pass(m, resident.empty() ? points.data() : resident.data(), 0,
+                    resident_tiles, n, centroids, acc);
         if (stager)
           stager->run(items, [&](const Stager::Item& it, std::byte* data,
                                  const Stager::WorkerHook&) {
             const std::size_t ts = resident_tiles + it.index * batch_tiles;
             const std::size_t te = std::min(ntiles, ts + batch_tiles);
-            tile_pass(m, reinterpret_cast<const double*>(data), ts, te, n,
-                      centroids, acc);
+            // Null data = the stager's direct-from-far rung: classify the
+            // batch straight out of far memory.
+            const double* base = data ? reinterpret_cast<const double*>(data)
+                                      : points.data() + ts * kTilePoints * d;
+            tile_pass(m, base, ts, te, n, centroids, acc);
           });
       });
 
   if (stager) stager->release();
-  if (r_pts > 0) m.free_array(Space::Near, resident);
+  if (!resident.empty()) m.free_array(Space::Near, resident);
   m.end_phase();
   return res;
 }

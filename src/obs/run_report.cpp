@@ -33,6 +33,10 @@ Json phase_to_json(const PhaseStats& p, bool with_name) {
   j["near_s"] = p.near_s;
   j["compute_s"] = p.compute_s;
   j["dma_s"] = p.dma_s;
+  // Injected-fault stall time: only ever nonzero under fault injection, so
+  // it is emitted conditionally — clean reports stay byte-identical to
+  // baselines that predate the fault model.
+  if (p.stall_s != 0) j["stall_s"] = p.stall_s;
   j["seconds"] = p.seconds;
   j["host_seconds"] = p.host_seconds;
   return j;
@@ -61,6 +65,7 @@ PhaseStats phase_from_json(const Json& j) {
   p.near_s = j.get_f64("near_s", 0);
   p.compute_s = j.get_f64("compute_s", 0);
   p.dma_s = j.get_f64("dma_s", 0);
+  p.stall_s = j.get_f64("stall_s", 0);
   p.seconds = j.get_f64("seconds", 0);
   p.host_seconds = j.get_f64("host_seconds", 0);
   return p;
@@ -494,6 +499,19 @@ void export_stats(const StagerStats& st, MetricsRegistry& reg) {
   reg.counter("stager.prefetch_bytes").add(st.prefetch_bytes);
   reg.counter("stager.fallback_direct").add(st.fallback_direct);
   reg.counter("stager.restarts").add(st.restarts);
+  reg.counter("degrade.to_single_buffer").add(st.degrade_to_single);
+  reg.counter("degrade.to_direct_far").add(st.degrade_to_direct);
+}
+
+void export_stats(const FaultStats& st, MetricsRegistry& reg) {
+  reg.counter("faults.near_alloc_injected").add(st.near_alloc_injected);
+  reg.counter("faults.near_alloc_exhausted").add(st.near_alloc_exhausted);
+  reg.counter("faults.near_far_fallbacks").add(st.near_far_fallbacks);
+  reg.counter("faults.dma_injected").add(st.dma_injected);
+  reg.counter("faults.far_stalls").add(st.far_stalls);
+  reg.counter("retries.dma").add(st.dma_retries);
+  reg.set_gauge("retries.backoff_seconds", st.backoff_s);
+  reg.set_gauge("faults.stall_seconds", st.stall_s);
 }
 
 void export_stats(const sim::SimReport& r, MetricsRegistry& reg) {

@@ -108,6 +108,11 @@ void export_stats(const MachineStats& st, std::uint64_t line_bytes,
 // Staged-streaming counters ("stager.batches", "stager.prefetch_bytes", ...)
 // from Machine::stager_stats() or an individual Stager::stats().
 void export_stats(const StagerStats& st, MetricsRegistry& reg);
+// Fault-injection counters ("faults.near_alloc_injected", "retries.dma",
+// ...) from Machine::fault_stats(). Always emits the full key set so fault
+// counters are first-class report citizens; report_diff treats their
+// absence in older baselines as zero.
+void export_stats(const FaultStats& st, MetricsRegistry& reg);
 void export_stats(const sim::SimReport& r, MetricsRegistry& reg);
 
 }  // namespace tlm::obs

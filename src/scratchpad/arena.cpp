@@ -1,8 +1,7 @@
 #include "scratchpad/arena.hpp"
 
-#include <new>
-
 #include "common/assert.hpp"
+#include "common/faults.hpp"
 #include "common/math.hpp"
 
 namespace tlm {
@@ -37,7 +36,10 @@ std::byte* NearArena::allocate(std::uint64_t bytes, std::uint64_t align) {
     high_water_ = std::max(high_water_, used_);
     return base() + aligned;
   }
-  throw std::bad_alloc{};  // scratchpad capacity M exhausted
+  // Scratchpad capacity M exhausted (or too fragmented for this request).
+  // The typed error carries the sizing so fallible callers can degrade; it
+  // derives std::bad_alloc so legacy catch sites keep working.
+  throw ScratchpadError("near_arena.allocate", bytes, free_bytes());
 }
 
 void NearArena::deallocate(std::byte* p) {

@@ -23,8 +23,10 @@ class NearArena {
   NearArena& operator=(const NearArena&) = delete;
 
   // Allocates `bytes` aligned to `align` (a power of two). Throws
-  // std::bad_alloc when no free block fits — the caller is expected to size
-  // its working set to M, so this indicates an algorithmic bug.
+  // ScratchpadError (a std::bad_alloc) when no free block fits — the caller
+  // either sized its working set to M (then this is an algorithmic bug) or
+  // opted into degradation via Machine::try_alloc_near, which converts the
+  // throw into a nullptr.
   std::byte* allocate(std::uint64_t bytes, std::uint64_t align = 64);
 
   // Frees a pointer previously returned by allocate(); coalesces neighbours.

@@ -28,6 +28,16 @@ struct TwoLevelConfig {
   // matching the paper's prototype which "simply waits for the transfer".
   bool overlap_dma = false;
 
+  // Retry policy for transient DMA failures (only exercised when a
+  // FaultInjector is attached): up to `dma_retry_budget` re-issues of a
+  // failed transfer, each preceded by an exponential backoff of
+  // base * 2^(attempt-1) seconds capped at `dma_retry_max_backoff_s`. The
+  // backoff is charged to the time model as stall time; exhausting the
+  // budget is fatal (fault.retry_budget).
+  std::uint32_t dma_retry_budget = 8;
+  double dma_retry_base_s = 1e-6;
+  double dma_retry_max_backoff_s = 1e-3;
+
   // Model-sanitizer strictness (only observed under TLM_CHECK_MODEL): when
   // true, every cross-space copy() must start on a rho*B near-line boundary
   // within its allocation and cover whole lines (a trailing partial line is
@@ -48,6 +58,9 @@ struct TwoLevelConfig {
     TLM_REQUIRE(rho >= 1.0, "rho is a bandwidth expansion factor");
     TLM_REQUIRE(far_bw > 0 && core_rate > 0, "rates must be positive");
     TLM_REQUIRE(threads >= 1, "need at least one core");
+    TLM_REQUIRE(dma_retry_budget >= 1, "need at least one DMA attempt");
+    TLM_REQUIRE(dma_retry_base_s >= 0 && dma_retry_max_backoff_s >= 0,
+                "backoff times must be non-negative");
   }
 
   // Derives the algorithmic model (§II) for this runtime configuration,

@@ -55,6 +55,10 @@ struct PhaseStats {
   double near_s = 0;
   double compute_s = 0;
   double dma_s = 0;  // background DMA engine busy time (overlap model)
+  // Injected-fault stall and retry-backoff time charged to this phase (the
+  // per-thread maximum — stalls serialize the thread that hits them, so the
+  // phase pays the worst-stalled thread's span). Zero in clean runs.
+  double stall_s = 0;
   double seconds = 0;
 
   // Real wall-clock spent between begin_phase and end_phase on the host —
@@ -91,6 +95,7 @@ struct PhaseStats {
     near_s += o.near_s;
     compute_s += o.compute_s;
     dma_s += o.dma_s;
+    stall_s += o.stall_s;
     seconds += o.seconds;
     host_seconds += o.host_seconds;
     return *this;
@@ -111,6 +116,11 @@ struct StagerStats {
   std::uint64_t fallback_direct = 0;  // oversized items processed from far
   std::uint64_t restarts = 0;         // pipeline restarts after a fallback
 
+  // Degradation-ladder transitions (double-buffered -> single-buffered ->
+  // direct-from-far) taken under near-memory pressure instead of aborting.
+  std::uint64_t degrade_to_single = 0;
+  std::uint64_t degrade_to_direct = 0;
+
   StagerStats& operator+=(const StagerStats& o) {
     batches += o.batches;
     sync_bytes += o.sync_bytes;
@@ -118,6 +128,35 @@ struct StagerStats {
     prefetch_bytes += o.prefetch_bytes;
     fallback_direct += o.fallback_direct;
     restarts += o.restarts;
+    degrade_to_single += o.degrade_to_single;
+    degrade_to_direct += o.degrade_to_direct;
+    return *this;
+  }
+};
+
+// Machine-lifetime fault/retry accounting: how often the fallible paths
+// were denied (injected or genuinely exhausted), how callers recovered
+// (far fallbacks), and what the recovery cost the time model. Exported as
+// faults.* / retries.* by the observability layer.
+struct FaultStats {
+  std::uint64_t near_alloc_injected = 0;   // try_alloc_near denials injected
+  std::uint64_t near_alloc_exhausted = 0;  // genuine capacity misses
+  std::uint64_t near_far_fallbacks = 0;    // near_or_far allocs that went far
+  std::uint64_t dma_injected = 0;          // transient DMA failures observed
+  std::uint64_t dma_retries = 0;           // re-issues after a DMA failure
+  std::uint64_t far_stalls = 0;            // injected far-memory stalls
+  double backoff_s = 0;                    // modeled retry backoff charged
+  double stall_s = 0;                      // modeled injected stall charged
+
+  FaultStats& operator+=(const FaultStats& o) {
+    near_alloc_injected += o.near_alloc_injected;
+    near_alloc_exhausted += o.near_alloc_exhausted;
+    near_far_fallbacks += o.near_far_fallbacks;
+    dma_injected += o.dma_injected;
+    dma_retries += o.dma_retries;
+    far_stalls += o.far_stalls;
+    backoff_s += o.backoff_s;
+    stall_s += o.stall_s;
     return *this;
   }
 };

@@ -63,6 +63,47 @@ std::byte* Machine::alloc(Space s, std::uint64_t bytes, std::uint64_t align,
   return p;
 }
 
+std::byte* Machine::try_alloc_near(std::uint64_t bytes, std::uint64_t align,
+                                   std::source_location loc) {
+  TLM_REQUIRE(bytes > 0, "zero-byte allocation");
+  MutexLock lock(alloc_mu_);
+  if (fi_ && fi_->should_fail(fault_site::kNearAlloc)) {
+    // Injected denial: the arena is untouched, so infallible alloc() calls
+    // that fit the clean run still fit under any schedule.
+    ++fault_stats_.near_alloc_injected;
+    return nullptr;
+  }
+  std::byte* p = nullptr;
+  try {
+    // No check_capacity here: genuine exhaustion is a recoverable outcome
+    // of the fallible API, not a model violation — the sanitizer's
+    // model.capacity abort stays reserved for the infallible alloc().
+    p = arena_.allocate(bytes, align);
+  } catch (const std::bad_alloc&) {
+    ++fault_stats_.near_alloc_exhausted;
+    return nullptr;
+  }
+#if TLM_MODEL_CHECKS_ENABLED
+  shadow_near_.insert_or_assign(
+      arena_.offset_of(p),
+      ShadowNearAlloc{bytes, phase_epoch_, phase_is_explicit_,
+                      /*retained=*/false, open_phase_name(), loc});
+#else
+  (void)loc;
+#endif
+  return p;
+}
+
+void Machine::count_far_fallback() {
+  MutexLock lock(alloc_mu_);
+  ++fault_stats_.near_far_fallbacks;
+}
+
+FaultStats Machine::fault_stats() const {
+  MutexLock lock(alloc_mu_);
+  return fault_stats_;
+}
+
 void Machine::dealloc(Space s, std::byte* p) {
   MutexLock lock(alloc_mu_);
   if (s == Space::Near) {
@@ -147,6 +188,7 @@ void Machine::charge_read(std::size_t thread, const void* p,
       a.dma_far += bytes;
       a.dma_far_bursts += 1;
     }
+    if (fi_) consult_far_stall(thread);
   }
   if (sink_ && !via_dma) sink_->on_read(thread, vaddr_of(p), bytes);
 }
@@ -176,8 +218,55 @@ void Machine::charge_write(std::size_t thread, void* p, std::uint64_t bytes,
       a.dma_far += bytes;
       a.dma_far_bursts += 1;
     }
+    if (fi_) consult_far_stall(thread);
   }
   if (sink_ && !via_dma) sink_->on_write(thread, vaddr_of(p), bytes);
+}
+
+void Machine::consult_far_stall(std::size_t thread) {
+  const double s = fi_->consult_stall(fault_site::kFarStall);
+  if (s <= 0) return;
+  acc_[thread].stall += s;
+  MutexLock lock(alloc_mu_);
+  ++fault_stats_.far_stalls;
+  fault_stats_.stall_s += s;
+}
+
+// Consulted by dma_copy before the transfer: an injected descriptor stall
+// just charges time; a transient failure is re-issued with bounded
+// exponential backoff (base * 2^(attempt-1), capped), every pause charged
+// to the issuing core as stall time. A streak longer than the retry budget
+// is fatal — at that point the transfer is not transiently failing.
+void Machine::dma_retry_gate(std::size_t thread, std::uint64_t bytes,
+                             const std::source_location& loc) {
+  const double stall = fi_->consult_stall(fault_site::kDmaStall);
+  if (stall > 0) {
+    acc_[thread].stall += stall;
+    MutexLock lock(alloc_mu_);
+    fault_stats_.stall_s += stall;
+  }
+  std::uint32_t attempt = 0;
+  double backoff = cfg_.dma_retry_base_s;
+  while (fi_->should_fail(fault_site::kDmaFail)) {
+    ++attempt;
+    if (attempt > cfg_.dma_retry_budget) {
+      fault_fatal(fault_rule::kRetryBudget, fault_site::kDmaFail,
+                  "dma_copy of " + std::to_string(bytes) +
+                      " bytes on thread " + std::to_string(thread) +
+                      " failed " + std::to_string(attempt) +
+                      " consecutive times (budget " +
+                      std::to_string(cfg_.dma_retry_budget) + ") at " +
+                      std::string(loc.file_name()) + ":" +
+                      std::to_string(loc.line()));
+    }
+    const double pause = std::min(backoff, cfg_.dma_retry_max_backoff_s);
+    acc_[thread].stall += pause;
+    backoff *= 2;
+    MutexLock lock(alloc_mu_);
+    ++fault_stats_.dma_injected;
+    ++fault_stats_.dma_retries;
+    fault_stats_.backoff_s += pause;
+  }
 }
 
 void Machine::copy(std::size_t thread, void* dst, const void* src,
@@ -197,6 +286,7 @@ void Machine::dma_copy(std::size_t thread, void* dst, const void* src,
 #if TLM_MODEL_CHECKS_ENABLED
   check_dma_granularity(dst, src, bytes, loc);
 #endif
+  if (fi_) dma_retry_gate(thread, bytes, loc);
   // Host semantics are identical to copy() — the data really moves now; the
   // model treats the transfer as engine-driven, so the bytes land in the
   // dma_* accumulators and the trace carries one descriptor instead of a
@@ -460,6 +550,7 @@ void Machine::fold_open_phase(PhaseStats& out) const {
         std::max(out.partition_imbalance_max, a.partition_imbalance);
     out.compute_ops_total += a.ops;
     out.compute_ops_max = std::max(out.compute_ops_max, a.ops);
+    out.stall_s = std::max(out.stall_s, a.stall);
   }
   // Per-burst access latencies amortize across the p cores issuing them.
   const double p = static_cast<double>(cfg_.threads);
@@ -481,12 +572,15 @@ void Machine::fold_open_phase(PhaseStats& out) const {
       static_cast<double>(out.dma_near_bytes) / cfg_.near_bw() +
       static_cast<double>(out.dma_near_bursts) * cfg_.near_latency / p;
   out.dma_s = std::max(dma_far_s, dma_near_s);
+  // Injected stalls and retry backoff serialize the core that hits them, so
+  // they extend the cores' serial time by the worst-stalled thread's span
+  // (stall_s); the background engine's busy time is unaffected.
   if (cfg_.overlap_dma) {
     const double core_s = (out.far_s - dma_far_s) + (out.near_s - dma_near_s) +
-                          out.compute_s;
+                          out.compute_s + out.stall_s;
     out.seconds = std::max(core_s, out.dma_s);
   } else {
-    out.seconds = out.far_s + out.near_s + out.compute_s;
+    out.seconds = out.far_s + out.near_s + out.compute_s + out.stall_s;
   }
 }
 

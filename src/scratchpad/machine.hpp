@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/faults.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "scratchpad/arena.hpp"
@@ -70,6 +71,55 @@ class Machine {
   void free_array(Space s, std::span<T> a) {
     dealloc(s, reinterpret_cast<std::byte*>(a.data()));
   }
+
+  // ---- fallible near allocation (the degradation entry points) -----------
+  // Like alloc(Space::Near, ...) but returns nullptr instead of dying when
+  // the arena cannot satisfy the request — or when an attached FaultInjector
+  // denies it (site machine.near_alloc). Callers MUST check the result and
+  // degrade (fall back to far memory, shrink, or step a Stager's ladder);
+  // tlm-lint's unchecked-try-alloc rule enforces the check.
+  std::byte* try_alloc_near(
+      std::uint64_t bytes, std::uint64_t align = 64,
+      std::source_location loc = std::source_location::current());
+
+  // Array form: an empty span on denial.
+  template <typename T>
+  std::span<T> try_alloc_array_near(
+      std::size_t n,
+      std::source_location loc = std::source_location::current()) {
+    auto* p = try_alloc_near(n * sizeof(T),
+                             alignof(T) < 64 ? 64 : alignof(T), loc);
+    return p ? std::span<T>{reinterpret_cast<T*>(p), n} : std::span<T>{};
+  }
+
+  // Infallible two-level allocation: near when it fits (and injection
+  // permits), far otherwise. The far fallback is counted in
+  // faults.near_far_fallbacks. Free with the space-inferred free_array
+  // overload below; guard any retain_across_phases on space_of().
+  template <typename T>
+  std::span<T> alloc_array_near_or_far(
+      std::size_t n,
+      std::source_location loc = std::source_location::current()) {
+    if (std::span<T> a = try_alloc_array_near<T>(n, loc); !a.empty())
+      return a;
+    count_far_fallback();
+    return alloc_array<T>(Space::Far, n, loc);
+  }
+
+  // Space-inferred frees for pointers that may live in either space (the
+  // near_or_far fallbacks above).
+  void dealloc(std::byte* p) { dealloc(space_of(p), p); }
+  template <typename T>
+  void free_array(std::span<T> a) {
+    dealloc(reinterpret_cast<std::byte*>(a.data()));
+  }
+
+  // Attaches (or detaches, with nullptr) the fault injector consulted by
+  // try_alloc_near, dma_copy, and the far charge paths. Not owned.
+  void set_fault_injector(FaultInjector* fi) { fi_ = fi; }
+  FaultInjector* fault_injector() const { return fi_; }
+  // Machine-lifetime fault/retry/fallback accounting.
+  FaultStats fault_stats() const;
 
   // Declares that a live near allocation intentionally spans explicit
   // phases (e.g. NMsort's BucketTot matrix is "scratchpad-resident
@@ -161,12 +211,17 @@ class Machine {
     std::uint64_t partition_splits = 0;
     double partition_imbalance = 0;
     double ops = 0;
+    double stall = 0;  // injected stalls + retry backoff charged to this core
   };
 
   void charge_read(std::size_t thread, const void* p, std::uint64_t bytes,
                    const std::source_location& loc, bool via_dma = false);
   void charge_write(std::size_t thread, void* p, std::uint64_t bytes,
                     const std::source_location& loc, bool via_dma = false);
+  void consult_far_stall(std::size_t thread);
+  void dma_retry_gate(std::size_t thread, std::uint64_t bytes,
+                      const std::source_location& loc);
+  void count_far_fallback();
   void fold_open_phase(PhaseStats& out) const;
   void reset_accumulators();
 
@@ -189,6 +244,12 @@ class Machine {
   std::map<const std::byte*, FarRegion> far_regions_ TLM_GUARDED_BY(alloc_mu_);
   std::uint64_t next_far_vbase_ TLM_GUARDED_BY(alloc_mu_) = trace::kFarBase;
   StagerStats stager_totals_ TLM_GUARDED_BY(alloc_mu_);
+
+  // Optional chaos layer: consulted only on fallible paths, so a schedule
+  // can never crash code that did not opt into degradation. nullptr (the
+  // default) keeps every fault hook a single predictable branch.
+  FaultInjector* fi_ = nullptr;
+  FaultStats fault_stats_ TLM_GUARDED_BY(alloc_mu_);
 
 #if TLM_MODEL_CHECKS_ENABLED
   // Shadow per-allocation state for the model sanitizer: which phase an

@@ -11,8 +11,9 @@ Stager::Stager(Machine& m, Options opt, std::source_location loc)
   TLM_REQUIRE(opt_.elem_bytes > 0, "stager element granularity must be >= 1");
   // The front buffer exists for the stager's whole lifetime; the back
   // buffer is allocated lazily, the first time a prefetch actually needs
-  // it, so single-batch and non-overlapping runs never pay for it.
-  buffer(0);
+  // it, so single-batch and non-overlapping runs never pay for it. Denial
+  // of the front buffer is the bottom rung: direct-from-far processing.
+  if (buffer(0) == nullptr) degrade(Level::kDirect);
 }
 
 Stager::~Stager() { release(); }
@@ -31,12 +32,22 @@ void Stager::release() {
 
 std::byte* Stager::buffer(std::size_t i) {
   if (bufs_[i].empty()) {
+    std::byte* p = m_.try_alloc_near(opt_.buffer_bytes, 64, loc_);
+    if (p == nullptr) return nullptr;  // caller steps the ladder
     bufs_[i] = std::span<std::byte>(
-        m_.alloc(Space::Near, opt_.buffer_bytes, 64, loc_),
-        static_cast<std::size_t>(opt_.buffer_bytes));
-    if (opt_.retain) m_.retain_across_phases(bufs_[i].data());
+        p, static_cast<std::size_t>(opt_.buffer_bytes));
+    if (opt_.retain) m_.retain_across_phases(p);
   }
   return bufs_[i].data();
+}
+
+void Stager::degrade(Level to) {
+  if (level_ >= to) return;  // the ladder only steps down
+  level_ = to;
+  if (to == Level::kSingle)
+    ++stats_.degrade_to_single;
+  else
+    ++stats_.degrade_to_direct;
 }
 
 void Stager::sync_gather(const Item& it, std::byte* dst) {
@@ -81,6 +92,16 @@ Stager::WorkerHook Stager::make_hook(const Item& it, std::byte* dst) {
 
 void Stager::run(std::span<const Item> items, const ProcessFn& process) {
   TLM_REQUIRE(!released_, "stager used after release()");
+  if (level_ == Level::kDirect) {
+    // Bottom rung: no staging buffer exists. Every item takes the same
+    // null-data path the oversized escape hatch uses — the callback works
+    // directly out of far memory.
+    for (const Item& it : items) {
+      ++stats_.fallback_direct;
+      process(it, nullptr, WorkerHook{});
+    }
+    return;
+  }
   const bool pipelined =
       opt_.double_buffer && m_.config().overlap_dma && items.size() > 1;
   std::size_t cur = 0;      // staging buffer the current item reads from
@@ -113,16 +134,24 @@ void Stager::run(std::span<const Item> items, const ProcessFn& process) {
     }
     WorkerHook hook;
     bool posted = false;
-    if (pipelined && i + 1 < items.size() && !items[i + 1].oversized) {
+    if (pipelined && level_ == Level::kDouble && i + 1 < items.size() &&
+        !items[i + 1].oversized) {
       std::byte* ndst = buffer(cur ^ 1);
-      if (opt_.worker_hook)
-        hook = make_hook(items[i + 1], ndst);
-      else
-        post_prefetch(items[i + 1], ndst);
-      posted = true;
-      stats_.prefetch_bytes += items[i + 1].bytes;
-      ++stats_.prefetch_batches;
-      pipeline_ran = true;
+      if (ndst == nullptr) {
+        // The back buffer was denied: single-buffered from here on. The
+        // current batch is already staged, so nothing is lost — only the
+        // overlap of the next gather.
+        degrade(Level::kSingle);
+      } else {
+        if (opt_.worker_hook)
+          hook = make_hook(items[i + 1], ndst);
+        else
+          post_prefetch(items[i + 1], ndst);
+        posted = true;
+        stats_.prefetch_bytes += items[i + 1].bytes;
+        ++stats_.prefetch_batches;
+        pipeline_ran = true;
+      }
     }
     process(it, dst, hook);
     ++stats_.batches;

@@ -49,6 +49,20 @@ namespace tlm {
 
 class Stager {
  public:
+  // The degradation ladder (ordered, monotonic): under near-memory
+  // pressure — a staging-buffer allocation denied by the arena or by a
+  // FaultInjector — the stager steps down instead of aborting.
+  //   kDouble  both staging buffers available; prefetch pipeline eligible
+  //   kSingle  the second buffer was denied; every batch gathers
+  //            synchronously into the front buffer (no prefetch overlap)
+  //   kDirect  no staging buffer at all; every item is handed to the
+  //            process callback with a null data pointer, exactly like the
+  //            oversized escape hatch — correct, from far memory
+  // Transitions are recorded in StagerStats::degrade_to_{single,direct} and
+  // persist for the stager's lifetime (pressure is assumed persistent; a
+  // later run() never climbs back up).
+  enum class Level { kDouble = 0, kSingle = 1, kDirect = 2 };
+
   // One contiguous piece of a gather: `bytes` from far-resident `src` land
   // at offset `dst_off` in the staging buffer.
   struct Slice {
@@ -104,8 +118,11 @@ class Stager {
 
   using WorkerHook = std::function<void(std::size_t)>;
   // data is the staging buffer holding the item's gathered bytes, or
-  // nullptr for an oversized fallback item. `prefetch` is non-empty only
-  // in worker-hook mode with a pending prefetch (see contract above).
+  // nullptr for an oversized fallback item — and for *every* item once the
+  // ladder reaches Level::kDirect, so a process callback must treat "null
+  // data" as "operate directly on far memory", not "oversized only".
+  // `prefetch` is non-empty only in worker-hook mode with a pending
+  // prefetch (see contract above).
   using ProcessFn =
       std::function<void(const Item&, std::byte* data,
                          const WorkerHook& prefetch)>;
@@ -127,6 +144,7 @@ class Stager {
   void release();
 
   const StagerStats& stats() const { return stats_; }
+  Level level() const { return level_; }
 
   static std::vector<Range> plan(std::span<const std::uint64_t> sizes,
                                  std::uint64_t cap);
@@ -141,6 +159,7 @@ class Stager {
 
  private:
   std::byte* buffer(std::size_t i);
+  void degrade(Level to);
   void sync_gather(const Item& it, std::byte* dst);
   void post_prefetch(const Item& it, std::byte* dst);
   WorkerHook make_hook(const Item& it, std::byte* dst);
@@ -150,6 +169,7 @@ class Stager {
   std::source_location loc_;
   std::span<std::byte> bufs_[2];
   StagerStats stats_;
+  Level level_ = Level::kDouble;
   bool released_ = false;
 };
 

@@ -25,7 +25,18 @@ void DmaEngine::copy(std::uint64_t src_addr, std::uint64_t dst_addr,
   d.bytes = round_up(bytes, cfg_.line_bytes);
   d.on_done = std::move(on_done);
   queue_.push_back(std::move(d));
-  sim_.schedule(cfg_.engine_latency, [this] { pump(); });
+  SimTime latency = cfg_.engine_latency;
+  if (cfg_.faults) {
+    // An injected engine stall delays descriptor processing — the same
+    // schedule the analytic machine charges as DMA stall time, so trace
+    // replay exercises it in simulated time too.
+    const double stall = cfg_.faults->consult_stall(fault_site::kSimDmaStall);
+    if (stall > 0) {
+      ++stats_.stalls;
+      latency += from_seconds(stall);
+    }
+  }
+  sim_.schedule(latency, [this] { pump(); });
 }
 
 void DmaEngine::pump() {
@@ -50,6 +61,16 @@ void DmaEngine::on_response(const MemReq& req) {
             "DMA response with no descriptor in flight");
   --outstanding_;
   Descriptor& d = queue_.front();
+
+  if (cfg_.faults && cfg_.faults->should_fail(fault_site::kSimDmaFail)) {
+    // Transient line-transfer failure: drop the payload and re-issue the
+    // read. The line keeps its tag, so completion ordering is unaffected.
+    ++stats_.retries;
+    MemReq rr = req;
+    ++outstanding_;
+    port_->request(rr);
+    return;
+  }
 
   // Forward the line as a posted write to the destination.
   MemReq wr;

@@ -12,6 +12,7 @@
 #include <deque>
 #include <functional>
 
+#include "common/faults.hpp"
 #include "sim/simulator.hpp"
 
 namespace tlm::sim {
@@ -20,12 +21,20 @@ struct DmaConfig {
   std::uint32_t line_bytes = 64;
   std::uint32_t max_outstanding = 32;  // in-flight line reads
   SimTime engine_latency = 10 * kNanosecond;  // descriptor processing
+  // Optional fault injector (not owned). The engine consults
+  // fault_site::kSimDmaStall per descriptor (a fired stall delays
+  // processing by the schedule's stall_seconds) and
+  // fault_site::kSimDmaFail per line response (a fired failure re-issues
+  // the read — a transient transfer error, retried transparently).
+  FaultInjector* faults = nullptr;
 };
 
 struct DmaStats {
   std::uint64_t descriptors = 0;
   std::uint64_t lines = 0;
   std::uint64_t bytes = 0;
+  std::uint64_t stalls = 0;   // injected descriptor stalls honored
+  std::uint64_t retries = 0;  // injected line failures re-issued
 };
 
 class DmaEngine final : public Requester {

@@ -42,7 +42,14 @@ void FarMemory::request(const MemReq& req) {
   const std::uint64_t row_id = req.addr / cfg_.row_bytes;
   Bank& bank = ch.banks[row_id % cfg_.banks];
 
-  const SimTime arrive = sim_.now() + cfg_.dc_latency;
+  SimTime arrive = sim_.now() + cfg_.dc_latency;
+  if (cfg_.faults) {
+    const double stall = cfg_.faults->consult_stall(fault_site::kSimFarStall);
+    if (stall > 0) {
+      ++stats_.stalls;
+      arrive += from_seconds(stall);
+    }
+  }
   const bool hit = bank.open_row == row_id;
   (hit ? stats_.row_hits : stats_.row_misses) += 1;
 

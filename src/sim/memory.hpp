@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/faults.hpp"
 #include "sim/simulator.hpp"
 
 namespace tlm::sim {
@@ -18,6 +19,7 @@ struct MemStats {
   std::uint64_t bytes = 0;
   std::uint64_t row_hits = 0;   // far memory only
   std::uint64_t row_misses = 0;
+  std::uint64_t stalls = 0;  // injected access stalls honored
   SimTime busy = 0;  // cumulative data-bus occupancy summed over channels
   std::uint64_t accesses() const { return reads + writes; }
 };
@@ -36,6 +38,10 @@ struct FarMemConfig {
   std::uint32_t banks = 8;
   std::uint64_t row_bytes = 2048;
   std::uint32_t line_bytes = 64;
+  // Optional fault injector (not owned). Each access consults
+  // fault_site::kSimFarStall; a fired stall adds the schedule's
+  // stall_seconds to the request's ready time (a slow / contended DIMM).
+  FaultInjector* faults = nullptr;
 
   double total_bw() const { return channel_bw * channels; }
 };

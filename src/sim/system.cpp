@@ -173,6 +173,7 @@ std::vector<std::pair<std::string, double>> SimReport::counters() const {
   put("far.bytes", static_cast<double>(far.bytes));
   put("far.row_hits", static_cast<double>(far.row_hits));
   put("far.row_misses", static_cast<double>(far.row_misses));
+  put("far.stalls", static_cast<double>(far.stalls));
   put("far.busy_s", to_seconds(far.busy));
   put("near.reads", static_cast<double>(near.reads));
   put("near.writes", static_cast<double>(near.writes));
@@ -191,6 +192,8 @@ std::vector<std::pair<std::string, double>> SimReport::counters() const {
   put("dma.descriptors", static_cast<double>(dma.descriptors));
   put("dma.lines", static_cast<double>(dma.lines));
   put("dma.bytes", static_cast<double>(dma.bytes));
+  put("dma.stalls", static_cast<double>(dma.stalls));
+  put("dma.retries", static_cast<double>(dma.retries));
   put("cores.loads", static_cast<double>(core_loads));
   put("cores.stores", static_cast<double>(core_stores));
   put("cores.compute_ops", compute_ops);

@@ -151,8 +151,11 @@ void nm_sort_into(Machine& m, std::span<const T> input, std::span<T> output,
   // intermediate merge passes stay in near, the final pass streams to far.
   if (g.nchunks == 1) {
     m.begin_phase("nmsort.phase1");
-    std::span<T> buf = m.alloc_array<T>(Space::Near, n);
-    std::span<T> tmp = m.alloc_array<T>(Space::Near, n);
+    // Near when available; under near pressure (genuine or injected) the
+    // sort runs out of far memory instead — identical ordering decisions,
+    // just without the bandwidth advantage.
+    std::span<T> buf = m.alloc_array_near_or_far<T>(n);
+    std::span<T> tmp = m.alloc_array_near_or_far<T>(n);
     const detail::RunLayout L = detail::plan_runs<T>(m, n, opt.inner);
     detail::form_runs(m, input.data(), buf.data(), n, L, opt.inner, cmp);
     T* src = buf.data();
@@ -172,8 +175,8 @@ void nm_sort_into(Machine& m, std::span<const T> input, std::span<T> output,
                                       cur, cur, 0);
       parallel_multiway_merge(m, rs, output, cmp, opt.merge);
     }
-    m.free_array(Space::Near, tmp);
-    m.free_array(Space::Near, buf);
+    m.free_array(tmp);
+    m.free_array(buf);
     m.end_phase();
     return;
   }
@@ -187,18 +190,22 @@ void nm_sort_into(Machine& m, std::span<const T> input, std::span<T> output,
   if (npivots > 0) pivots = sample_pivots(m, 0, input, npivots, opt.seed, cmp);
   // The pivots and bucket metadata are "scratchpad-resident throughout"
   // (§III-B): they intentionally live across every later phase, so tell the
-  // model sanitizer they are not end-of-phase leaks.
-  if (!pivots.empty()) m.retain_across_phases(pivots.data());
+  // model sanitizer they are not end-of-phase leaks. Under near pressure
+  // they fall back to far memory (retain only applies to near pointers).
+  if (!pivots.empty() && m.space_of(pivots.data()) == Space::Near)
+    m.retain_across_phases(pivots.data());
 
-  // Scratchpad-resident metadata.
+  // Scratchpad-resident metadata (far-fallback under pressure).
   std::span<std::uint64_t> bucket_tot =
-      m.alloc_array<std::uint64_t>(Space::Near, nb);
-  m.retain_across_phases(bucket_tot.data());
+      m.alloc_array_near_or_far<std::uint64_t>(nb);
+  if (m.space_of(bucket_tot.data()) == Space::Near)
+    m.retain_across_phases(bucket_tot.data());
   std::fill(bucket_tot.begin(), bucket_tot.end(), 0);
   m.stream_write(0, bucket_tot.data(), bucket_tot.size_bytes());
   std::span<std::uint64_t> pos_row =
-      m.alloc_array<std::uint64_t>(Space::Near, nb + 1);
-  m.retain_across_phases(pos_row.data());
+      m.alloc_array_near_or_far<std::uint64_t>(nb + 1);
+  if (m.space_of(pos_row.data()) == Space::Near)
+    m.retain_across_phases(pos_row.data());
 
   // Far-resident sorted-run area and BucketPos matrix (Fig. 2(d)).
   std::span<T> runs_area = m.alloc_array<T>(Space::Far, n);
@@ -213,8 +220,8 @@ void nm_sort_into(Machine& m, std::span<const T> input, std::span<T> output,
     // the final merge pass streams the sorted chunk to far memory — no
     // redundant staging copies.
     m.begin_phase("nmsort.phase1");
-    std::span<T> chunk_buf = m.alloc_array<T>(Space::Near, g.chunk_elems);
-    std::span<T> temp_buf = m.alloc_array<T>(Space::Near, g.chunk_elems);
+    std::span<T> chunk_buf = m.alloc_array_near_or_far<T>(g.chunk_elems);
+    std::span<T> temp_buf = m.alloc_array_near_or_far<T>(g.chunk_elems);
     for (std::uint64_t c = 0; c < g.nchunks; ++c) {
       const std::uint64_t b = c * g.chunk_elems;
       const std::uint64_t len = std::min(g.chunk_elems, n - b);
@@ -300,8 +307,8 @@ void nm_sort_into(Machine& m, std::span<const T> input, std::span<T> output,
       parallel_multiway_merge(m, rs, runs_area.subspan(b, len), cmp,
                               opt.merge);
     }
-    m.free_array(Space::Near, temp_buf);
-    m.free_array(Space::Near, chunk_buf);
+    m.free_array(temp_buf);
+    m.free_array(chunk_buf);
     m.end_phase();
 
     // ======================= Phase 2 (Fig. 3) ============================
@@ -416,7 +423,7 @@ void nm_sort_into(Machine& m, std::span<const T> input, std::span<T> output,
     // (all keys in one bucket).
     std::vector<std::vector<std::span<T>>> pieces(nb);
 
-    std::span<T> chunk_buf = m.alloc_array<T>(Space::Near, g.chunk_elems);
+    std::span<T> chunk_buf = m.alloc_array_near_or_far<T>(g.chunk_elems);
     for (std::uint64_t c = 0; c < g.nchunks; ++c) {
       const std::uint64_t b = c * g.chunk_elems;
       const std::uint64_t len = std::min(g.chunk_elems, n - b);
@@ -454,7 +461,7 @@ void nm_sort_into(Machine& m, std::span<const T> input, std::span<T> output,
       for (std::size_t i = 0; i < nb; ++i)
         if (!chunk_pieces[i].empty()) pieces[i].push_back(chunk_pieces[i]);
     }
-    m.free_array(Space::Near, chunk_buf);
+    m.free_array(chunk_buf);
     m.end_phase();
 
     m.begin_phase("nmsort.naive_merge");
@@ -479,9 +486,9 @@ void nm_sort_into(Machine& m, std::span<const T> input, std::span<T> output,
   // ---- cleanup -------------------------------------------------------------
   m.free_array(Space::Far, bucket_pos);
   m.free_array(Space::Far, runs_area);
-  m.free_array(Space::Near, pos_row);
-  m.free_array(Space::Near, bucket_tot);
-  if (!pivots.empty()) m.free_array(Space::Near, pivots);
+  m.free_array(pos_row);
+  m.free_array(bucket_tot);
+  if (!pivots.empty()) m.free_array(pivots);
 }
 
 // In-place convenience wrapper: sorts through a far temp area and copies the

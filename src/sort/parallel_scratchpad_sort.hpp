@@ -42,8 +42,13 @@ void psp_rec(Machine& m, std::span<T> seg,
 
   if (n <= fit_elems) {
     // Base case: parallel ingest, parallel in-scratchpad sort (Theorem 8's
-    // role), parallel write-back.
-    std::span<T> buf = m.alloc_array<T>(Space::Near, n);
+    // role), parallel write-back. Under near pressure the segment is
+    // sorted in place in far memory instead.
+    std::span<T> buf = m.try_alloc_array_near<T>(n);
+    if (buf.empty()) {
+      multiway_merge_sort(m, seg, o.inner, cmp);
+      return;
+    }
     parallel_copy(m, buf.data(), seg.data(), n);
     multiway_merge_sort(m, buf, o.inner, cmp);
     parallel_copy(m, seg.data(), buf.data(), n);
@@ -79,7 +84,7 @@ void psp_rec(Machine& m, std::span<T> seg,
   const std::uint64_t nchunks = ceil_div(n, chunk);
   std::vector<std::vector<std::uint64_t>> pos(
       static_cast<std::size_t>(nchunks));
-  std::span<T> buf = m.alloc_array<T>(Space::Near, std::min(chunk, n));
+  std::span<T> buf = m.alloc_array_near_or_far<T>(std::min(chunk, n));
   for (std::uint64_t c = 0; c < nchunks; ++c) {
     const std::uint64_t b = c * chunk;
     const std::uint64_t len = std::min(chunk, n - b);
@@ -100,8 +105,8 @@ void psp_rec(Machine& m, std::span<T> seg,
     });
     parallel_copy(m, seg.data() + b, buf.data(), len);
   }
-  m.free_array(Space::Near, buf);
-  m.free_array(Space::Near, pivots);
+  m.free_array(buf);
+  m.free_array(pivots);
 
   // Materialize every bucket (the eager §III structure, gathered in
   // parallel across buckets), then recurse per bucket and write back.

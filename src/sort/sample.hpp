@@ -15,8 +15,10 @@
 namespace tlm::sort {
 
 // Samples `count` pivots (with replacement) from far-resident `data` into a
-// freshly allocated near array, sorts them there, and returns the near span.
-// Caller frees with m.free_array(Space::Near, ...). The gathers are split
+// freshly allocated near array (far under near-memory pressure — the
+// sample's ordering is residency-independent), sorts them there, and
+// returns the span. Caller frees with the space-inferred
+// m.free_array(pivots). The gathers are split
 // across all threads (§IV-C: "we can randomly choose the elements of X and
 // move them into the scratchpad in parallel"); each costs one far line read
 // — the O(m) block transfers of Lemma 4. The pivot sort's compute is
@@ -26,7 +28,7 @@ std::span<T> sample_pivots(Machine& m, std::size_t /*thread*/,
                            std::span<const T> data, std::size_t count,
                            std::uint64_t seed, Cmp cmp = {}) {
   TLM_REQUIRE(count >= 1 && !data.empty(), "cannot sample an empty input");
-  std::span<T> pivots = m.alloc_array<T>(Space::Near, count);
+  std::span<T> pivots = m.alloc_array_near_or_far<T>(count);
   const std::uint64_t line = m.config().block_bytes;
   const Xoshiro256 root(seed);
   m.parallel_for(0, count, [&](std::size_t w, std::size_t lo,

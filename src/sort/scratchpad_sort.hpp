@@ -82,8 +82,14 @@ void sp_sort_rec(Machine& m, std::span<T> seg, const ScratchpadSortOptions& o,
   if (n <= 1) return;
 
   if (n <= fit_elems) {
-    // Base case: stage into the scratchpad, sort, write back.
-    std::span<T> buf = m.alloc_array<T>(Space::Near, n);
+    // Base case: stage into the scratchpad, sort, write back. Under near
+    // pressure (genuine or injected) sort the segment in place in far
+    // memory instead — same comparisons, same output, no staging copies.
+    std::span<T> buf = m.try_alloc_array_near<T>(n);
+    if (buf.empty()) {
+      inner_sort(m, seg, o, cmp);
+      return;
+    }
     m.copy(0, buf.data(), seg.data(), seg.size_bytes());
     inner_sort(m, buf, o, cmp);
     m.copy(0, seg.data(), buf.data(), seg.size_bytes());
@@ -160,8 +166,13 @@ void sp_sort_rec(Machine& m, std::span<T> seg, const ScratchpadSortOptions& o,
                          const Stager::WorkerHook&) {
     const std::uint64_t b = static_cast<std::uint64_t>(it.index) * chunk;
     const std::uint64_t len = it.bytes / sizeof(T);
-    std::span<T> group(reinterpret_cast<T*>(data),
-                       static_cast<std::size_t>(len));
+    // Null data = the stager's direct-from-far rung: sort the group in
+    // place in far memory. Same comparisons, same bucket boundaries.
+    std::span<T> group =
+        data ? std::span<T>(reinterpret_cast<T*>(data),
+                            static_cast<std::size_t>(len))
+             : seg.subspan(static_cast<std::size_t>(b),
+                           static_cast<std::size_t>(len));
     inner_sort(m, group, o, cmp);
     auto& row = pos[it.index];
     row.resize(nb + 1);
@@ -172,11 +183,11 @@ void sp_sort_rec(Machine& m, std::span<T> seg, const ScratchpadSortOptions& o,
           charged_lower_bound(m, 0, group.data(), group.data() + len,
                               pivots[i - 1], cmp) -
           group.data());
-    m.copy(0, seg.data() + b, group.data(), len * sizeof(T));
+    if (data) m.copy(0, seg.data() + b, group.data(), len * sizeof(T));
     ++report.bucketizing_scans;
   });
   stager.release();
-  m.free_array(Space::Near, pivots);
+  m.free_array(pivots);
 
   // --- gather buckets and recurse ------------------------------------------
   std::vector<std::uint64_t> tot(nb, 0);

@@ -48,6 +48,7 @@ def main():
         "clang-tidy",
         "model-check",
         "flake-detect",
+        "chaos",
     ):
         if required not in jobs:
             fail(f"missing job: {required}")
@@ -68,7 +69,7 @@ def main():
     # and persist the cache across runs via actions/cache — a cold matrix
     # rebuild dominates CI wall-clock otherwise.
     for job_name in ("build-test", "sanitizers", "flake-detect",
-                     "model-check", "bench-smoke"):
+                     "model-check", "bench-smoke", "chaos"):
         jtext = steps_text(jobs[job_name])
         for needle in ("ccache", "actions/cache"):
             if needle not in jtext:
@@ -95,6 +96,13 @@ def main():
     ):
         if needle not in flake:
             fail(f"flake-detect steps must mention '{needle}'")
+
+    # chaos: the fault-injection differential harness (fixed seeds + the
+    # all-near-allocs-fail schedule) must stay a first-class CI gate.
+    chaos = steps_text(jobs["chaos"])
+    for needle in ("-L test_chaos", "ctest"):
+        if needle not in chaos:
+            fail(f"chaos steps must mention '{needle}'")
 
     # lint: the project-invariant linter runs build-free, and its own rule
     # fixtures run first so a broken rule cannot silently pass the tree.

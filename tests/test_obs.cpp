@@ -293,6 +293,34 @@ TEST(RunReport, ExportStagerStatsLandsInRegistry) {
   EXPECT_EQ(counters.at("stager.restarts"), 1u);
 }
 
+TEST(RunReport, ExportFaultStatsAlwaysEmitsFullKeySet) {
+  // Zero-valued FaultStats still export every key: fault counters are
+  // first-class report citizens, and report_diff's tolerance (not key
+  // omission) is what keeps old baselines comparable.
+  obs::MetricsRegistry reg;
+  obs::export_stats(FaultStats{}, reg);
+  const auto counters = reg.counters();
+  EXPECT_EQ(counters.at("faults.near_alloc_injected"), 0u);
+  EXPECT_EQ(counters.at("faults.near_alloc_exhausted"), 0u);
+  EXPECT_EQ(counters.at("faults.near_far_fallbacks"), 0u);
+  EXPECT_EQ(counters.at("faults.dma_injected"), 0u);
+  EXPECT_EQ(counters.at("faults.far_stalls"), 0u);
+  EXPECT_EQ(counters.at("retries.dma"), 0u);
+  const auto gauges = reg.gauges();
+  EXPECT_DOUBLE_EQ(gauges.at("retries.backoff_seconds"), 0.0);
+  EXPECT_DOUBLE_EQ(gauges.at("faults.stall_seconds"), 0.0);
+
+  FaultStats fs;
+  fs.near_alloc_injected = 3;
+  fs.dma_retries = 2;
+  fs.backoff_s = 3e-6;
+  obs::MetricsRegistry reg2;
+  obs::export_stats(fs, reg2);
+  EXPECT_EQ(reg2.counters().at("faults.near_alloc_injected"), 3u);
+  EXPECT_EQ(reg2.counters().at("retries.dma"), 2u);
+  EXPECT_DOUBLE_EQ(reg2.gauges().at("retries.backoff_seconds"), 3e-6);
+}
+
 // ---------------------------------------------------------------- diff
 
 TEST(Diff, IdenticalReportsAreClean) {
@@ -398,6 +426,73 @@ TEST(Diff, ZeroBaselineNonzeroCurrentRegresses) {
   a.add_run("r").counters["spill_bytes"] = 0;
   b.add_run("r").counters["spill_bytes"] = 4096;
   EXPECT_TRUE(obs::diff_reports(a.to_json(), b.to_json()).has_regression());
+}
+
+TEST(Diff, FaultKeysAbsentFromOldBaselineReadAsZero) {
+  // A baseline checked in before the fault section existed, diffed against
+  // a current run that exports the (all-zero) fault counters: absence is
+  // zero, not schema drift — no added leaves, no regression.
+  obs::RunReport a("bench"), b("bench");
+  a.add_run("r").counters["machine.far_read_bytes"] = 100;
+  obs::RunRecord& rb = b.add_run("r");
+  rb.counters["machine.far_read_bytes"] = 100;
+  obs::MetricsRegistry reg;
+  obs::export_stats(FaultStats{}, reg);
+  rb.add_metrics(reg);
+  const obs::DiffReport d = obs::diff_reports(a.to_json(), b.to_json());
+  EXPECT_FALSE(d.has_regression());
+  EXPECT_TRUE(d.entries.empty());
+  EXPECT_TRUE(d.added_in_current.empty());
+  EXPECT_TRUE(d.missing_in_current.empty());
+}
+
+TEST(Diff, NonzeroFaultCounterAgainstOldBaselineIsAChangedLeaf) {
+  // Same old baseline, but the current run actually saw faults: that is a
+  // real change (baseline read as 0), reported as an entry — never as an
+  // unexplained "new in current" schema difference.
+  obs::RunReport a("bench"), b("bench");
+  a.add_run("r").counters["machine.far_read_bytes"] = 100;
+  obs::RunRecord& rb = b.add_run("r");
+  rb.counters["machine.far_read_bytes"] = 100;
+  FaultStats fs;
+  fs.near_alloc_injected = 4;
+  obs::MetricsRegistry reg;
+  obs::export_stats(fs, reg);
+  rb.add_metrics(reg);
+  const obs::DiffReport d = obs::diff_reports(a.to_json(), b.to_json());
+  EXPECT_TRUE(d.added_in_current.empty());
+  bool found = false;
+  for (const auto& e : d.entries) {
+    if (e.path.find("faults.near_alloc_injected") != std::string::npos) {
+      found = true;
+      EXPECT_DOUBLE_EQ(e.baseline, 0.0);
+      EXPECT_DOUBLE_EQ(e.current, 4.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Diff, FaultKeysMissingFromCurrentAreToleratedToo) {
+  // The mirror direction: a chaos baseline diffed against a run from a
+  // build predating the fault section. The nonzero baseline leaf reads the
+  // absent current as zero (an improvement), never as "missing".
+  obs::RunReport a("bench"), b("bench");
+  obs::RunRecord& ra = a.add_run("r");
+  ra.counters["machine.far_read_bytes"] = 100;
+  FaultStats fs;
+  fs.dma_retries = 6;
+  obs::MetricsRegistry reg;
+  obs::export_stats(fs, reg);
+  ra.add_metrics(reg);
+  b.add_run("r").counters["machine.far_read_bytes"] = 100;
+  const obs::DiffReport d = obs::diff_reports(a.to_json(), b.to_json());
+  EXPECT_FALSE(d.has_regression());
+  EXPECT_TRUE(d.missing_in_current.empty());
+  bool improved = false;
+  for (const auto& e : d.entries)
+    improved |= e.improvement &&
+                e.path.find("retries.dma") != std::string::npos;
+  EXPECT_TRUE(improved);
 }
 
 TEST(Diff, GoogleBenchmarkShapedJsonWorks) {

@@ -281,6 +281,148 @@ TEST(Machine, ThreadOpsExposesPerWorkerLoad) {
   EXPECT_DOUBLE_EQ(ops[2], 30.0);
 }
 
+// --- fault layer -----------------------------------------------------------
+
+TEST(Faults, ScratchpadErrorCarriesSiteAndSizes) {
+  NearArena a(4096);
+  (void)a.allocate(4000);
+  try {
+    (void)a.allocate(4096);
+    FAIL() << "allocation should have thrown";
+  } catch (const ScratchpadError& e) {
+    EXPECT_EQ(e.site(), "near_arena.allocate");
+    EXPECT_EQ(e.requested_bytes(), 4096u);
+    EXPECT_LT(e.available_bytes(), 4096u);
+    EXPECT_NE(std::string(e.what()).find("near_arena.allocate"),
+              std::string::npos);
+  }
+}
+
+TEST(Faults, TryAllocNearExhaustionReturnsNullAndCounts) {
+  Machine m(cfg1());  // 1 MiB near
+  std::byte* ok = m.try_alloc_near(512 * KiB);
+  ASSERT_NE(ok, nullptr);
+  std::byte* denied = m.try_alloc_near(768 * KiB);
+  EXPECT_EQ(denied, nullptr);
+  EXPECT_EQ(m.fault_stats().near_alloc_exhausted, 1u);
+  EXPECT_EQ(m.fault_stats().near_alloc_injected, 0u);
+  m.dealloc(ok);  // space-inferred free
+  EXPECT_EQ(m.near_arena().used(), 0u);
+}
+
+TEST(Faults, InjectedNearDenialConsumesNoSpace) {
+  Machine m(cfg1());
+  FaultInjector fi(99);
+  fi.arm(fault_site::kNearAlloc, FaultSchedule::every());
+  m.set_fault_injector(&fi);
+  std::byte* p = m.try_alloc_near(1024);
+  EXPECT_EQ(p, nullptr);
+  EXPECT_EQ(m.near_arena().used(), 0u);  // a denial never consumes arena
+  EXPECT_EQ(m.fault_stats().near_alloc_injected, 1u);
+  EXPECT_EQ(m.fault_stats().near_alloc_exhausted, 0u);
+  // Detaching the injector restores the clean fallible path.
+  m.set_fault_injector(nullptr);
+  std::byte* q = m.try_alloc_near(1024);
+  ASSERT_NE(q, nullptr);
+  m.dealloc(q);
+}
+
+TEST(Faults, AllocNearOrFarFallsBackAndCounts) {
+  Machine m(cfg1());
+  FaultInjector fi(5);
+  fi.arm(fault_site::kNearAlloc, FaultSchedule::every());
+  m.set_fault_injector(&fi);
+  auto a = m.alloc_array_near_or_far<std::uint64_t>(128);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(m.space_of(a.data()), Space::Far);
+  EXPECT_EQ(m.fault_stats().near_far_fallbacks, 1u);
+  a[0] = 7;  // the fallback is a real, usable allocation
+  EXPECT_EQ(a[0], 7u);
+  m.free_array(a);  // space-inferred
+}
+
+TEST(Faults, DmaRetryChargesBoundedBackoff) {
+  Machine m(cfg1());
+  FaultInjector fi(17);
+  // The first dma_copy's first two retry checks fail, the third succeeds.
+  fi.arm(fault_site::kDmaFail, FaultSchedule::burst(1, 2));
+  m.set_fault_injector(&fi);
+  auto far = m.alloc_array<std::uint64_t>(Space::Far, 64);
+  auto near = m.alloc_array<std::uint64_t>(Space::Near, 64);
+  for (std::size_t i = 0; i < far.size(); ++i) far[i] = i ^ 0xabcdu;
+
+  m.begin_phase("p");
+  m.dma_copy(0, near.data(), far.data(), far.size_bytes());
+  m.end_phase();
+
+  EXPECT_TRUE(std::equal(near.begin(), near.end(), far.begin()));
+  const FaultStats fs = m.fault_stats();
+  EXPECT_EQ(fs.dma_injected, 2u);
+  EXPECT_EQ(fs.dma_retries, 2u);
+  // Exponential backoff: base + 2*base, both under the cap.
+  const double base = m.config().dma_retry_base_s;
+  EXPECT_NEAR(fs.backoff_s, base + 2 * base, 1e-15);
+  // The pauses are charged to the phase as stall time.
+  EXPECT_NEAR(m.stats().phases.at(0).stall_s, fs.backoff_s, 1e-15);
+}
+
+TEST(Faults, FarStallChargesStallTime) {
+  Machine m(cfg1());
+  FaultInjector fi(23);
+  fi.arm(fault_site::kFarStall, FaultSchedule::every(2e-6));
+  m.set_fault_injector(&fi);
+  auto far = m.alloc_array<std::uint64_t>(Space::Far, 256);
+  m.begin_phase("s");
+  m.stream_read(0, far.data(), far.size_bytes());
+  m.end_phase();
+  const FaultStats fs = m.fault_stats();
+  EXPECT_EQ(fs.far_stalls, 1u);
+  EXPECT_NEAR(fs.stall_s, 2e-6, 1e-15);
+  EXPECT_NEAR(m.stats().phases.at(0).stall_s, 2e-6, 1e-15);
+  // The stall extends the phase's modeled time.
+  const PhaseStats& ph = m.stats().phases.at(0);
+  EXPECT_GE(ph.seconds, ph.far_s + ph.stall_s - 1e-18);
+}
+
+TEST(Faults, InjectorIsDeterministicPerSeedSiteOccurrence) {
+  auto draw = [](std::uint64_t seed) {
+    FaultInjector fi(seed);
+    fi.arm("site.a", FaultSchedule::prob(0.5));
+    std::vector<bool> v;
+    for (int i = 0; i < 64; ++i) v.push_back(fi.should_fail("site.a"));
+    return v;
+  };
+  const auto a = draw(123);
+  const auto b = draw(123);
+  const auto c = draw(124);
+  EXPECT_EQ(a, b);  // same seed: identical decision sequence
+  EXPECT_NE(a, c);  // different seed: different sequence
+  FaultInjector fi(123);
+  fi.arm("site.a", FaultSchedule::prob(0.5));
+  for (int i = 0; i < 64; ++i) (void)fi.should_fail("site.a");
+  const auto st = fi.site_stats("site.a");
+  EXPECT_EQ(st.checks, 64u);
+  EXPECT_GT(st.fired, 0u);
+  EXPECT_LT(st.fired, 64u);
+}
+
+TEST(Faults, NthAndRearmSemantics) {
+  FaultInjector fi(1);
+  fi.arm("s", FaultSchedule::nth_occurrence(3));
+  EXPECT_FALSE(fi.should_fail("s"));
+  EXPECT_FALSE(fi.should_fail("s"));
+  EXPECT_TRUE(fi.should_fail("s"));
+  EXPECT_FALSE(fi.should_fail("s"));
+  // Re-arming resets the occurrence counter.
+  fi.arm("s", FaultSchedule::nth_occurrence(1));
+  EXPECT_TRUE(fi.should_fail("s"));
+  fi.disarm("s");
+  EXPECT_FALSE(fi.should_fail("s"));
+  // Unarmed sites never fire and are not counted.
+  EXPECT_FALSE(fi.should_fail("never.armed"));
+  EXPECT_EQ(fi.site_stats("never.armed").checks, 0u);
+}
+
 TEST(Machine, StreamChargesWithoutMoving) {
   Machine m(cfg1());
   auto far = m.alloc_array<std::uint64_t>(Space::Far, 256);

@@ -307,6 +307,115 @@ TEST(Stager, RejectsItemLargerThanBufferUnlessMarkedOversized) {
                std::invalid_argument);
 }
 
+// ---------------------------------------------------- degradation ladder
+
+TEST(StagerLadder, BackBufferDenialDegradesToSingle) {
+  Machine m(st_config(/*overlap=*/true));
+  FaultInjector fi(42);
+  // Occurrence 1 is the constructor's front buffer; occurrence 2 is the
+  // lazy back-buffer allocation the first prefetch needs.
+  fi.arm(fault_site::kNearAlloc, FaultSchedule::nth_occurrence(2));
+  m.set_fault_injector(&fi);
+
+  const std::size_t kChunk = 512;
+  const auto src = keys(4 * kChunk, 21);
+  m.adopt_far(src.data(), src.size() * sizeof(std::uint64_t));
+
+  std::vector<Stager::Item> items;
+  for (std::size_t c = 0; c < 4; ++c)
+    items.push_back(chunk_item(src.data(), c * kChunk, (c + 1) * kChunk, c));
+
+  Stager st(m, u64_options(kChunk));
+  EXPECT_EQ(st.level(), Stager::Level::kDouble);
+  const std::uint64_t one_buffer = m.near_arena().used();
+
+  st.run(items, [&](const Stager::Item& item, std::byte* data,
+                    const Stager::WorkerHook& hook) {
+    // Single-buffered: every gather is synchronous, so no hook ever fires.
+    EXPECT_FALSE(static_cast<bool>(hook));
+    ASSERT_NE(data, nullptr);
+    EXPECT_EQ(0, std::memcmp(data, src.data() + item.index * kChunk,
+                             kChunk * 8));
+  });
+
+  EXPECT_EQ(st.level(), Stager::Level::kSingle);
+  const StagerStats& s = st.stats();
+  EXPECT_EQ(s.degrade_to_single, 1u);
+  EXPECT_EQ(s.degrade_to_direct, 0u);
+  EXPECT_EQ(s.batches, 4u);
+  EXPECT_EQ(s.prefetch_batches, 0u);
+  EXPECT_EQ(s.sync_bytes, 4u * kChunk * 8u);
+  // The denial was injected, not genuine: the arena never grew past the
+  // front buffer, and the ladder never retries (pressure is persistent).
+  EXPECT_EQ(m.near_arena().used(), one_buffer);
+  EXPECT_EQ(m.fault_stats().near_alloc_injected, 1u);
+}
+
+TEST(StagerLadder, FrontBufferDenialRunsDirectFromFar) {
+  Machine m(st_config(/*overlap=*/true));
+  FaultInjector fi(7);
+  fi.arm(fault_site::kNearAlloc, FaultSchedule::every());
+  m.set_fault_injector(&fi);
+
+  const std::size_t kChunk = 256;
+  const auto src = keys(3 * kChunk, 23);
+  m.adopt_far(src.data(), src.size() * sizeof(std::uint64_t));
+
+  std::vector<Stager::Item> items;
+  for (std::size_t c = 0; c < 3; ++c)
+    items.push_back(chunk_item(src.data(), c * kChunk, (c + 1) * kChunk, c));
+
+  Stager st(m, u64_options(kChunk));
+  EXPECT_EQ(st.level(), Stager::Level::kDirect);
+  EXPECT_EQ(m.near_arena().used(), 0u);  // total blackout: nothing staged
+
+  auto direct = [&](const Stager::Item& item, std::byte* data,
+                    const Stager::WorkerHook& hook) {
+    EXPECT_EQ(data, nullptr);
+    EXPECT_FALSE(static_cast<bool>(hook));
+    // The callback's far-memory path: the slices still address the operand.
+    const auto* far_src =
+        reinterpret_cast<const std::uint64_t*>(item.slices[0].src);
+    EXPECT_EQ(far_src[0], src[item.index * kChunk]);
+  };
+  st.run(items, direct);
+  EXPECT_EQ(st.stats().fallback_direct, 3u);
+  EXPECT_EQ(st.stats().batches, 0u);
+  EXPECT_EQ(st.stats().sync_bytes, 0u);
+  EXPECT_EQ(st.stats().degrade_to_direct, 1u);
+
+  // A later run stays on the bottom rung; the transition is not re-counted.
+  st.run(items, direct);
+  EXPECT_EQ(st.stats().fallback_direct, 6u);
+  EXPECT_EQ(st.stats().degrade_to_direct, 1u);
+  // Only the constructor's attempt consulted the injector.
+  EXPECT_EQ(m.fault_stats().near_alloc_injected, 1u);
+
+  st.release();
+  EXPECT_EQ(m.stager_stats().degrade_to_direct, 1u);
+  EXPECT_EQ(m.stager_stats().fallback_direct, 6u);
+}
+
+TEST(StagerLadder, GenuineExhaustionAlsoStepsTheLadder) {
+  // No injector: a staging buffer larger than the whole scratchpad is a
+  // genuine capacity miss, and the ladder (not an abort) must handle it.
+  Machine m(st_config(/*overlap=*/true));
+  const auto src = keys(256, 29);
+  m.adopt_far(src.data(), src.size() * sizeof(std::uint64_t));
+  Stager st(m, u64_options(2 * MiB / sizeof(std::uint64_t)));
+  EXPECT_EQ(st.level(), Stager::Level::kDirect);
+  EXPECT_EQ(m.fault_stats().near_alloc_exhausted, 1u);
+  EXPECT_EQ(m.fault_stats().near_alloc_injected, 0u);
+  std::vector<Stager::Item> items{chunk_item(src.data(), 0, 256, 0)};
+  std::size_t calls = 0;
+  st.run(items, [&](const Stager::Item&, std::byte* data,
+                    const Stager::WorkerHook&) {
+    EXPECT_EQ(data, nullptr);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
 TEST(Stager, SequentialGatherDrivesCopiesFromTheOrchestrator) {
   Machine m(st_config(/*overlap=*/false));
   const auto src = keys(300, 13);
