@@ -5,11 +5,20 @@
 //       Schema-check a tlm.run_report document. Exit 0 when valid, 1 when
 //       invalid, 2 on parse/usage errors.
 //   report_diff baseline.json current.json [--threshold=0.05] [--warn-only]
-//               [--include-wall] [--verbose]
+//               [--include-wall] [--verbose] [--max-changed=<n>]
 //       Compare two reports (any JSON with numeric leaves works, including
 //       google-benchmark output). Exit 0 when no cost leaf regressed beyond
 //       the threshold, 1 on regression (suppressed to 0 by --warn-only),
 //       2 on parse/usage errors.
+//
+//       --max-changed=<n> adds a determinism gate on top of the regression
+//       check: fail when more than n cost leaves changed or vanished, in
+//       either direction and by any amount. The trace-replay CI lane runs
+//       with --max-changed=0 — mapped-log replay must reproduce the in-RAM
+//       report bit for bit (new trace.* leaves in the current report are
+//       additions, not changes, and are listed but never counted).
+//       --warn-only does not suppress this gate.
+#include <cstdint>
 #include <exception>
 #include <iostream>
 #include <string>
@@ -29,7 +38,10 @@ int usage() {
          " (default 0.05)\n"
       << "  --warn-only         report regressions but exit 0\n"
       << "  --include-wall      also compare host wall-clock leaves\n"
-      << "  --verbose           list every compared leaf, not just changes\n";
+      << "  --verbose           list every compared leaf, not just changes\n"
+      << "  --max-changed=<n>   determinism gate: fail when more than n cost\n"
+         "                      leaves changed or vanished (not softened by\n"
+         "                      --warn-only)\n";
   return 2;
 }
 
@@ -52,6 +64,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> positional;
   tlm::obs::DiffOptions opt;
   bool warn_only = false, verbose = false, do_validate = false;
+  bool have_max_changed = false;
+  std::uint64_t max_changed = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--validate") {
@@ -67,6 +81,14 @@ int main(int argc, char** argv) {
         opt.threshold = std::stod(a.substr(12));
       } catch (const std::exception&) {
         std::cerr << "error: bad --threshold value: " << a << "\n";
+        return 2;
+      }
+    } else if (a.rfind("--max-changed=", 0) == 0) {
+      try {
+        max_changed = std::stoull(a.substr(14));
+        have_max_changed = true;
+      } catch (const std::exception&) {
+        std::cerr << "error: bad --max-changed value: " << a << "\n";
         return 2;
       }
     } else if (a.rfind("--", 0) == 0) {
@@ -89,6 +111,20 @@ int main(int argc, char** argv) {
     const tlm::obs::DiffReport d =
         tlm::obs::diff_reports(baseline, current, opt);
     std::cout << d.format(verbose);
+    if (have_max_changed) {
+      // Vanished leaves count as changes (a replay that drops a counter is
+      // not deterministic); leaves only the current report has do not (the
+      // mapped path legitimately adds trace.* instrumentation).
+      const std::uint64_t changed =
+          d.entries.size() + d.missing_in_current.size();
+      if (changed > max_changed) {
+        std::cout << "FAIL: " << changed << " cost leaf(s) changed/vanished,"
+                  << " --max-changed=" << max_changed << "\n";
+        return 1;
+      }
+      std::cout << "determinism: " << changed << " changed leaf(s) within"
+                << " --max-changed=" << max_changed << "\n";
+    }
     if (d.has_regression()) {
       std::cout << (warn_only ? "WARN" : "FAIL") << ": " << d.regressions()
                 << " cost leaf(s) regressed beyond "

@@ -9,9 +9,17 @@
 // scale-free). Pass --full for the verbatim Fig. 4 node (very slow),
 // --quick for the analytic counting backend only.
 //
+// --trace=mapped routes the capture through the out-of-core MappedLog sink
+// (per-thread mmap'd logs under --trace-dir) and replays it with the
+// parallel ShardedReplay loader instead of the in-RAM TraceBuffer; the
+// trace-replay CI lane diffs the two paths' reports and requires zero
+// changed counters.
+//
 // Expected shape (paper, Table I): NMsort beats GNU sort in simulated time,
 // the gap grows with the bandwidth expansion (>25% at 8x), NMsort issues
 // roughly half the DRAM accesses, and only NMsort touches the scratchpad.
+#include <sys/stat.h>
+
 #include <iostream>
 
 #include "analysis/experiment.hpp"
@@ -35,11 +43,15 @@ int run(const bench::Flags& flags) {
   const std::uint64_t near_cap =
       flags.u64("--near-mb", full ? 512 : 1) * MiB;
   const std::uint64_t seed = flags.u64("--seed", 20150525);
+  const bool mapped = flags.str("--trace", "ram") == "mapped";
+  const std::string trace_dir =
+      flags.str("--trace-dir", "/tmp/tlm_table1_traces");
+  if (mapped) ::mkdir(trace_dir.c_str(), 0755);  // per-run subdirs below
 
   bench::banner("table1_sst_sort", "Table I (SST simulation results)");
   std::cout << "cores=" << cores << " n=" << n << " near=" << near_cap / MiB
             << "MiB backend=" << (quick ? "counting" : "cycle-sim+counting")
-            << "\n";
+            << (mapped ? " trace=mapped(" + trace_dir + ")" : "") << "\n";
 
   struct Col {
     const char* name;
@@ -91,26 +103,44 @@ int run(const bench::Flags& flags) {
       obs::export_stats(r.faults, reg);
       rec.add_metrics(reg);
     } else {
-      const analysis::SimulatedSort s =
-          analysis::simulate_sort(c.rho, cores, n, near_cap, c.algo, seed);
-      all_verified &= s.counting.verified;
-      sim_s.push_back(s.report.seconds);
-      model_s.push_back(s.counting.modeled_seconds);
-      near_acc.push_back(s.report.near.accesses());
-      far_acc.push_back(s.report.far.accesses());
-      near_acc_model.push_back(
-          s.counting.counting.near_accesses(64));
-      far_acc_model.push_back(s.counting.counting.far_accesses(64));
-      rec.set_counting(s.counting.counting, 64);
-      rec.set_sim(s.report);
-      rec.wall_seconds = s.counting.host_seconds;
-      rec.gauges["verified"] = s.counting.verified ? 1.0 : 0.0;
+      analysis::SortRun counting;
+      sim::SimReport sim;
       obs::MetricsRegistry reg;
-      obs::export_stats(s.counting.faults, reg);
+      if (mapped) {
+        const analysis::MappedSimulatedSort s = analysis::simulate_sort_mapped(
+            c.rho, cores, n, near_cap, c.algo, seed,
+            trace_dir + "/run-" + std::to_string(report.runs.size()));
+        counting = s.counting;
+        sim = s.report;
+        obs::export_stats(s.log, reg);
+        obs::export_stats(s.replay, reg);
+        std::cout << "  [" << c.name << "] spilled "
+                  << s.log.file_bytes / 1024 << " KiB ("
+                  << Table::num(s.log.bytes_per_op(), 2)
+                  << " B/op), replayed in " << s.replay.shards
+                  << " shards\n";
+      } else {
+        analysis::SimulatedSort s =
+            analysis::simulate_sort(c.rho, cores, n, near_cap, c.algo, seed);
+        counting = std::move(s.counting);
+        sim = s.report;
+      }
+      all_verified &= counting.verified;
+      sim_s.push_back(sim.seconds);
+      model_s.push_back(counting.modeled_seconds);
+      near_acc.push_back(sim.near.accesses());
+      far_acc.push_back(sim.far.accesses());
+      near_acc_model.push_back(counting.counting.near_accesses(64));
+      far_acc_model.push_back(counting.counting.far_accesses(64));
+      rec.set_counting(counting.counting, 64);
+      rec.set_sim(sim);
+      rec.wall_seconds = counting.host_seconds;
+      rec.gauges["verified"] = counting.verified ? 1.0 : 0.0;
+      obs::export_stats(counting.faults, reg);
       rec.add_metrics(reg);
-      std::cout << "  [" << c.name << "] simulated (" << s.report.events
+      std::cout << "  [" << c.name << "] simulated (" << sim.events
                 << " events), sorted output verified="
-                << (s.counting.verified ? "yes" : "NO") << "\n";
+                << (counting.verified ? "yes" : "NO") << "\n";
     }
   }
 

@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace tlm::analysis {
 
@@ -100,9 +101,25 @@ SortRun run_sort_counting(const TwoLevelConfig& cfg, Algorithm a,
 }
 
 CaptureRun capture_sort_trace(const TwoLevelConfig& cfg, Algorithm a,
-                              std::uint64_t n, std::uint64_t seed) {
+                              std::uint64_t n, std::uint64_t seed,
+                              FaultInjector* faults) {
   CaptureRun out{SortRun{}, trace::TraceBuffer(cfg.threads)};
-  out.counting = run_with_sink(cfg, a, n, seed, &out.trace);
+  out.counting = run_with_sink(cfg, a, n, seed, &out.trace, faults);
+  return out;
+}
+
+MappedCaptureRun capture_sort_trace_mapped(const TwoLevelConfig& cfg,
+                                           Algorithm a, std::uint64_t n,
+                                           std::uint64_t seed,
+                                           const std::string& trace_dir,
+                                           FaultInjector* faults,
+                                           std::size_t chunk_bytes) {
+  MappedCaptureRun out;
+  out.trace_dir = trace_dir;
+  trace::MappedLog log(trace_dir, cfg.threads, chunk_bytes);
+  out.counting = run_with_sink(cfg, a, n, seed, &log, faults);
+  log.close();
+  out.log = log.stats();
   return out;
 }
 
@@ -131,6 +148,31 @@ SimulatedSort simulate_sort(double rho, std::size_t cores, std::uint64_t n,
   sim::SystemConfig sys = sim::SystemConfig::scaled(rho, cores);
   sim::System system(sys, cap.trace);
   SimulatedSort out{std::move(cap.counting), system.run(max_events)};
+  return out;
+}
+
+MappedSimulatedSort simulate_sort_mapped(double rho, std::size_t cores,
+                                         std::uint64_t n,
+                                         std::uint64_t near_capacity_bytes,
+                                         Algorithm a, std::uint64_t seed,
+                                         const std::string& trace_dir,
+                                         std::uint64_t max_events) {
+  const TwoLevelConfig cfg =
+      scaled_counting_config(rho, cores, near_capacity_bytes);
+  MappedCaptureRun cap =
+      capture_sort_trace_mapped(cfg, a, n, seed, trace_dir);
+  // Decode shards on the same pool width the capture ran with; the decoded
+  // streams (not the shard split) determine the simulation, so any width
+  // replays identically.
+  ThreadPool pool(cores);
+  trace::ShardedReplay replay(trace_dir, pool);
+  sim::SystemConfig sys = sim::SystemConfig::scaled(rho, cores);
+  sim::System system(sys, replay);
+  MappedSimulatedSort out;
+  out.report = system.run(max_events);
+  out.counting = std::move(cap.counting);
+  out.log = cap.log;
+  out.replay = replay.stats();
   return out;
 }
 

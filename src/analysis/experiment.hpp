@@ -18,6 +18,8 @@
 #include "sim/system.hpp"
 #include "sort/sort.hpp"
 #include "trace/capture.hpp"
+#include "trace/mapped_log.hpp"
+#include "trace/replay.hpp"
 
 namespace tlm::analysis {
 
@@ -56,9 +58,26 @@ struct CaptureRun {
   trace::TraceBuffer trace;  // per-thread op streams for sim::System
 };
 
-// Same run with trace capture attached (the Ariel role).
+// Same run with trace capture attached (the Ariel role). An optional fault
+// injector makes the captured run a chaos run — capture under faults is how
+// a chaos schedule becomes deterministically re-playable from its log.
 CaptureRun capture_sort_trace(const TwoLevelConfig& cfg, Algorithm a,
-                              std::uint64_t n, std::uint64_t seed);
+                              std::uint64_t n, std::uint64_t seed,
+                              FaultInjector* faults = nullptr);
+
+// Out-of-core capture: streams the trace to append-only memory-mapped logs
+// under `trace_dir` (trace/mapped_log.hpp) instead of RAM. The log is
+// finalized (closed) before returning; load it back with ShardedReplay.
+struct MappedCaptureRun {
+  SortRun counting;
+  trace::MappedLogStats log;  // bytes/op, spill bytes, chunk growths
+  std::string trace_dir;
+};
+MappedCaptureRun capture_sort_trace_mapped(
+    const TwoLevelConfig& cfg, Algorithm a, std::uint64_t n,
+    std::uint64_t seed, const std::string& trace_dir,
+    FaultInjector* faults = nullptr,
+    std::size_t chunk_bytes = trace::MappedLog::kDefaultChunkBytes);
 
 // Effective machine operations retired per modeled comparison: compare,
 // data movement, and branch misprediction cost in a sort inner loop. Mirrors
@@ -85,5 +104,23 @@ SimulatedSort simulate_sort(double rho, std::size_t cores, std::uint64_t n,
                             std::uint64_t near_capacity_bytes, Algorithm a,
                             std::uint64_t seed,
                             std::uint64_t max_events = ~0ULL);
+
+// The out-of-core twin of simulate_sort: capture spills to mmap'd logs
+// under `trace_dir`, a ShardedReplay decodes them in parallel shards, and
+// the same scaled simulator node replays the decoded streams. Reports are
+// bit-identical to simulate_sort on the same inputs (the trace-replay CI
+// lane's contract).
+struct MappedSimulatedSort {
+  SortRun counting;
+  sim::SimReport report;
+  trace::MappedLogStats log;
+  trace::ReplayStats replay;
+};
+MappedSimulatedSort simulate_sort_mapped(double rho, std::size_t cores,
+                                         std::uint64_t n,
+                                         std::uint64_t near_capacity_bytes,
+                                         Algorithm a, std::uint64_t seed,
+                                         const std::string& trace_dir,
+                                         std::uint64_t max_events = ~0ULL);
 
 }  // namespace tlm::analysis

@@ -514,6 +514,25 @@ void export_stats(const FaultStats& st, MetricsRegistry& reg) {
   reg.set_gauge("faults.stall_seconds", st.stall_s);
 }
 
+void export_stats(const trace::MappedLogStats& st, MetricsRegistry& reg) {
+  reg.counter("trace.capture_ops").add(st.ops);
+  reg.counter("trace.capture_raw_ops").add(st.raw_ops);
+  reg.counter("trace.encoded_bytes").add(st.encoded_bytes);
+  reg.counter("trace.spill_bytes").add(st.file_bytes);
+  reg.counter("trace.spill_chunks").add(st.chunks);
+  reg.set_gauge("trace.capture_bytes_per_op", st.bytes_per_op());
+}
+
+void export_stats(const trace::ReplayStats& st, MetricsRegistry& reg) {
+  reg.counter("trace.replay_shards").add(st.shards);
+  reg.counter("trace.replay_threads").add(st.threads);
+  reg.counter("trace.replay_ops").add(st.ops);
+  reg.counter("trace.replay_mapped_bytes").add(st.mapped_bytes);
+  reg.counter("trace.replay_fences").add(st.fences);
+  reg.counter("trace.replay_dmas").add(st.dmas);
+  reg.counter("trace.replay_recovered_threads").add(st.recovered_threads);
+}
+
 void export_stats(const sim::SimReport& r, MetricsRegistry& reg) {
   for (const auto& [name, value] : r.counters()) {
     // Integral counters stay counters; rates/times become gauges.

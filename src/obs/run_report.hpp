@@ -24,6 +24,8 @@
 #include "scratchpad/counters.hpp"
 #include "sim/dma.hpp"
 #include "sim/system.hpp"
+#include "trace/mapped_log.hpp"
+#include "trace/replay.hpp"
 
 namespace tlm::obs {
 
@@ -114,5 +116,10 @@ void export_stats(const StagerStats& st, MetricsRegistry& reg);
 // absence in older baselines as zero.
 void export_stats(const FaultStats& st, MetricsRegistry& reg);
 void export_stats(const sim::SimReport& r, MetricsRegistry& reg);
+// Out-of-core trace capture ("trace.spill_bytes", "trace.capture_bytes_per_op",
+// ...) from MappedLog::stats() and sharded replay ("trace.replay_shards",
+// "trace.replay_fences", ...) from ShardedReplay::stats().
+void export_stats(const trace::MappedLogStats& st, MetricsRegistry& reg);
+void export_stats(const trace::ReplayStats& st, MetricsRegistry& reg);
 
 }  // namespace tlm::obs

@@ -65,7 +65,7 @@ SystemConfig SystemConfig::scaled(double rho, std::size_t cores) {
   return c;
 }
 
-System::System(SystemConfig cfg, const trace::TraceBuffer& trace)
+System::System(SystemConfig cfg, const trace::TraceSource& trace)
     : cfg_(std::move(cfg)), trace_(trace) {
   cfg_.validate();
   TLM_REQUIRE(trace_.threads() == cfg_.cores,

@@ -68,8 +68,10 @@ struct SimReport {
 
 class System {
  public:
-  // `trace` must carry exactly cfg.cores thread streams.
-  System(SystemConfig cfg, const trace::TraceBuffer& trace);
+  // `trace` must carry exactly cfg.cores thread streams. Any TraceSource
+  // feeds the cores: the in-RAM TraceBuffer or a ShardedReplay decoded from
+  // memory-mapped logs (trace/replay.hpp) — the cores cannot tell which.
+  System(SystemConfig cfg, const trace::TraceSource& trace);
 
   // Runs the whole trace to completion and reports. `max_events` guards
   // against runaway simulations in tests.
@@ -90,7 +92,7 @@ class System {
 
  private:
   SystemConfig cfg_;
-  const trace::TraceBuffer& trace_;
+  const trace::TraceSource& trace_;
 
   Simulator sim_;
   std::unique_ptr<Crossbar> noc_;

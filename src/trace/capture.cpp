@@ -6,6 +6,49 @@
 
 namespace tlm::trace {
 
+void TraceSummary::note(const TraceOp& op, bool coalesced) {
+  switch (op.kind) {
+    case OpKind::Read:
+      reads += coalesced ? 0 : 1;
+      read_bytes += op.bytes;
+      break;
+    case OpKind::Write:
+      writes += coalesced ? 0 : 1;
+      write_bytes += op.bytes;
+      break;
+    case OpKind::Compute:
+      computes += coalesced ? 0 : 1;
+      compute_ops += op.ops;
+      break;
+    case OpKind::Barrier:
+      ++barriers;
+      break;
+    case OpKind::DmaCopy:
+      dmas += coalesced ? 0 : 1;
+      dma_bytes += op.bytes;
+      break;
+  }
+}
+
+bool try_coalesce(TraceOp& tail, const TraceOp& op) {
+  if (op.kind != tail.kind) return false;
+  if (op.kind == OpKind::Compute) {
+    tail.ops += op.ops;
+    return true;
+  }
+  if ((op.kind == OpKind::Read || op.kind == OpKind::Write) &&
+      tail.addr + tail.bytes == op.addr) {
+    tail.bytes += op.bytes;
+    return true;
+  }
+  if (op.kind == OpKind::DmaCopy && tail.addr + tail.bytes == op.addr &&
+      tail.src + tail.bytes == op.src) {
+    tail.bytes += op.bytes;
+    return true;
+  }
+  return false;
+}
+
 TraceBuffer::TraceBuffer(std::size_t threads) : streams_(threads) {
   TLM_REQUIRE(threads >= 1, "trace needs at least one thread stream");
 }
@@ -13,28 +56,11 @@ TraceBuffer::TraceBuffer(std::size_t threads) : streams_(threads) {
 void TraceBuffer::append(std::size_t thread, TraceOp op) {
   TLM_REQUIRE(thread < streams_.size(), "thread id outside trace");
   auto& s = streams_[thread];
-  if (!s.empty()) {
-    TraceOp& last = s.back();
-    // Coalesce contiguous bursts of the same kind and adjacent compute ops;
-    // this typically shrinks traces by an order of magnitude.
-    if (op.kind == last.kind) {
-      if (op.kind == OpKind::Compute) {
-        last.ops += op.ops;
-        return;
-      }
-      if ((op.kind == OpKind::Read || op.kind == OpKind::Write) &&
-          last.addr + last.bytes == op.addr) {
-        last.bytes += op.bytes;
-        return;
-      }
-      if (op.kind == OpKind::DmaCopy && last.addr + last.bytes == op.addr &&
-          last.src + last.bytes == op.src) {
-        last.bytes += op.bytes;
-        return;
-      }
-    }
-  }
-  s.push_back(op);
+  // Coalescing typically shrinks traces by an order of magnitude; the
+  // summary is kept in lockstep so it never needs a re-scan.
+  const bool coalesced = !s.empty() && try_coalesce(s.back(), op);
+  if (!coalesced) s.push_back(op);
+  summary_.note(op, coalesced);
 }
 
 void TraceBuffer::on_read(std::size_t thread, std::uint64_t vaddr,
@@ -60,43 +86,14 @@ void TraceBuffer::on_dma(std::size_t thread, std::uint64_t dst_vaddr,
   append(thread, TraceOp{OpKind::DmaCopy, dst_vaddr, bytes, 0, src_vaddr});
 }
 
-TraceSummary TraceBuffer::summary() const {
-  TraceSummary t;
-  for (const auto& s : streams_) {
-    for (const auto& op : s) {
-      switch (op.kind) {
-        case OpKind::Read:
-          ++t.reads;
-          t.read_bytes += op.bytes;
-          break;
-        case OpKind::Write:
-          ++t.writes;
-          t.write_bytes += op.bytes;
-          break;
-        case OpKind::Compute:
-          ++t.computes;
-          t.compute_ops += op.ops;
-          break;
-        case OpKind::Barrier:
-          ++t.barriers;
-          break;
-        case OpKind::DmaCopy:
-          ++t.dmas;
-          t.dma_bytes += op.bytes;
-          break;
-      }
-    }
-  }
-  return t;
-}
-
 void TraceBuffer::clear() {
   for (auto& s : streams_) s.clear();
+  summary_ = TraceSummary{};
 }
 
 std::string TraceBuffer::describe() const {
   std::ostringstream os;
-  const TraceSummary t = summary();
+  const TraceSummary& t = summary();
   os << "trace: " << streams_.size() << " threads, " << t.reads << " reads ("
      << t.read_bytes << " B), " << t.writes << " writes (" << t.write_bytes
      << " B), " << t.computes << " compute segments (" << t.compute_ops

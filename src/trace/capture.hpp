@@ -2,7 +2,10 @@
 // thread, coalescing adjacent compatible ops to keep traces compact.
 //
 // Attach one to a Machine, run an algorithm, then hand the streams to the
-// simulator's TraceCores (sim/system.hpp) for cycle-level replay.
+// simulator's TraceCores (sim/system.hpp) for cycle-level replay. For runs
+// too large to hold in RAM, MappedLog (trace/mapped_log.hpp) is the
+// out-of-core sink with the identical coalescing contract, and ShardedReplay
+// (trace/replay.hpp) loads its logs back as a TraceSource.
 #pragma once
 
 #include <cstddef>
@@ -22,9 +25,28 @@ struct TraceSummary {
   std::uint64_t total_ops() const {
     return reads + writes + computes + barriers + dmas;
   }
+  void note(const TraceOp& op, bool coalesced);
 };
 
-class TraceBuffer final : public TraceSink {
+// Attempts to fold `op` into `tail` (the thread's most recent record):
+// adjacent compute segments merge, contiguous read/write bursts of the same
+// kind extend, contiguous DmaCopy descriptors with matching src/dst strides
+// extend. Returns true when `tail` absorbed the op. This single function IS
+// the coalescing contract — every sink (TraceBuffer, MappedLog) and every
+// loader routes through it so capture and replay agree bit for bit.
+bool try_coalesce(TraceOp& tail, const TraceOp& op);
+
+// Read-side view of a captured trace: exactly the per-thread coalesced op
+// streams sim::System replays. Implemented by TraceBuffer (in-RAM) and
+// ShardedReplay (decoded from memory-mapped logs).
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+  virtual std::size_t threads() const = 0;
+  virtual const std::vector<TraceOp>& stream(std::size_t thread) const = 0;
+};
+
+class TraceBuffer final : public TraceSink, public TraceSource {
  public:
   explicit TraceBuffer(std::size_t threads);
 
@@ -37,13 +59,19 @@ class TraceBuffer final : public TraceSink {
   void on_dma(std::size_t thread, std::uint64_t dst_vaddr,
               std::uint64_t src_vaddr, std::uint64_t bytes) override;
 
-  std::size_t threads() const { return streams_.size(); }
-  const std::vector<TraceOp>& stream(std::size_t thread) const {
+  std::size_t threads() const override { return streams_.size(); }
+  const std::vector<TraceOp>& stream(std::size_t thread) const override {
     return streams_.at(thread);
   }
   const std::vector<std::vector<TraceOp>>& streams() const { return streams_; }
 
-  TraceSummary summary() const;
+  // O(1): maintained incrementally as ops arrive (a billion-op capture must
+  // not be re-scanned to answer "how many ops").
+  const TraceSummary& summary() const { return summary_; }
+
+  // Resets the buffer for reuse: drops every stream AND the incremental
+  // summary/coalescing state, so a subsequent op can neither merge into a
+  // stale predecessor nor inherit stale totals.
   void clear();
 
   // Human-readable digest (op counts per thread) for logs and tests.
@@ -53,6 +81,7 @@ class TraceBuffer final : public TraceSink {
   void append(std::size_t thread, TraceOp op);
 
   std::vector<std::vector<TraceOp>> streams_;
+  TraceSummary summary_;
 };
 
 }  // namespace tlm::trace

@@ -1,0 +1,220 @@
+#include "trace/mapped_log.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "common/assert.hpp"
+
+namespace tlm::trace {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+}  // namespace
+
+std::string mapped_log_manifest_path(const std::string& dir) {
+  return dir + "/manifest.tlm";
+}
+
+std::string mapped_log_file_path(const std::string& dir, std::size_t thread) {
+  return dir + "/thread-" + std::to_string(thread) + ".tlmlog";
+}
+
+// All mutable capture state for one thread lives here, alignas-separated so
+// concurrent appenders never share a cache line.
+struct alignas(64) MappedLog::PerThread {
+  int fd = -1;
+  std::uint8_t* base = nullptr;   // whole-file mapping
+  std::size_t mapped_bytes = 0;   // current file / mapping length
+  std::size_t write_off = 0;      // next free byte (absolute file offset)
+  wire::Codec codec;
+  TraceOp pending{};
+  bool has_pending = false;
+  std::vector<std::uint8_t> scratch;  // one record's encoding
+  TraceSummary summary;
+  std::uint64_t ops = 0;      // encoded + pending records
+  std::uint64_t raw_ops = 0;  // sink calls
+  std::uint64_t chunks = 0;
+};
+
+MappedLog::MappedLog(std::string dir, std::size_t threads,
+                     std::size_t chunk_bytes)
+    : dir_(std::move(dir)), chunk_bytes_(chunk_bytes) {
+  TLM_REQUIRE(threads >= 1, "mapped log needs at least one thread stream");
+  TLM_REQUIRE(chunk_bytes_ >= wire::kMaxRecordBytes,
+              "chunk must hold at least one record");
+  if (::mkdir(dir_.c_str(), 0755) != 0)
+    TLM_REQUIRE(errno == EEXIST,
+                "cannot create trace-log dir " + dir_ + ": " + errno_text());
+
+  per_thread_.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    auto pt = std::make_unique<PerThread>();
+    const std::string path = mapped_log_file_path(dir_, t);
+    pt->fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    TLM_REQUIRE(pt->fd >= 0,
+                "cannot open trace log " + path + ": " + errno_text());
+    pt->mapped_bytes = sizeof(MappedLogFileHeader) + chunk_bytes_;
+    TLM_REQUIRE(
+        ::ftruncate(pt->fd, static_cast<off_t>(pt->mapped_bytes)) == 0,
+        "cannot size trace log " + path + ": " + errno_text());
+    void* m = ::mmap(nullptr, pt->mapped_bytes, PROT_READ | PROT_WRITE,
+                     MAP_SHARED, pt->fd, 0);
+    TLM_REQUIRE(m != MAP_FAILED,
+                "cannot map trace log " + path + ": " + errno_text());
+    pt->base = static_cast<std::uint8_t*>(m);
+    pt->chunks = 1;
+
+    MappedLogFileHeader h{};
+    std::memcpy(h.magic, kMappedLogMagic, sizeof(h.magic));
+    h.version = kTraceVersionVarint;
+    h.thread = static_cast<std::uint32_t>(t);
+    // Stays kUnfinalized until close(): a crash mid-capture leaves a header
+    // that tells the loader "decode what you can, trust nothing".
+    h.committed_bytes = kUnfinalized;
+    h.ops = kUnfinalized;
+    std::memcpy(pt->base, &h, sizeof(h));
+    pt->write_off = sizeof(h);
+    pt->scratch.reserve(wire::kMaxRecordBytes);
+    per_thread_.push_back(std::move(pt));
+  }
+
+  std::ofstream manifest(mapped_log_manifest_path(dir_));
+  TLM_REQUIRE(manifest.is_open(),
+              "cannot write mapped-log manifest in " + dir_);
+  manifest << "tlm.mapped_log " << kTraceVersionVarint << "\n"
+           << "threads " << threads << "\n"
+           << "chunk_bytes " << chunk_bytes_ << "\n";
+}
+
+MappedLog::~MappedLog() {
+  try {
+    close();
+  } catch (...) {  // NOLINT(bugprone-empty-catch): destructor must not throw
+  }
+}
+
+void MappedLog::encode_pending(PerThread& pt) {
+  if (!pt.has_pending) return;
+  pt.scratch.clear();
+  wire::encode_op(pt.scratch, pt.codec, pt.pending);
+  pt.has_pending = false;
+  if (pt.write_off + pt.scratch.size() > pt.mapped_bytes) {
+    // Chunked growth: extend the file and remap the whole of it. The record
+    // then lands contiguously, straddling the old chunk's end.
+    const std::size_t grown = pt.mapped_bytes + chunk_bytes_;
+    TLM_CHECK(::munmap(pt.base, pt.mapped_bytes) == 0,
+              "munmap failed while growing trace log");
+    TLM_CHECK(::ftruncate(pt.fd, static_cast<off_t>(grown)) == 0,
+              "cannot grow trace log (disk full?): " + errno_text());
+    void* m = ::mmap(nullptr, grown, PROT_READ | PROT_WRITE, MAP_SHARED,
+                     pt.fd, 0);
+    TLM_CHECK(m != MAP_FAILED,
+              "cannot remap grown trace log: " + errno_text());
+    pt.base = static_cast<std::uint8_t*>(m);
+    pt.mapped_bytes = grown;
+    ++pt.chunks;
+  }
+  std::memcpy(pt.base + pt.write_off, pt.scratch.data(), pt.scratch.size());
+  pt.write_off += pt.scratch.size();
+}
+
+void MappedLog::append(std::size_t thread, const TraceOp& op) {
+  TLM_REQUIRE(thread < per_thread_.size(), "thread id outside trace");
+  TLM_CHECK(!closed_, "append to a closed MappedLog");
+  PerThread& pt = *per_thread_[thread];
+  ++pt.raw_ops;
+  const bool coalesced = pt.has_pending && try_coalesce(pt.pending, op);
+  pt.summary.note(op, coalesced);
+  if (coalesced) return;
+  encode_pending(pt);
+  pt.pending = op;
+  pt.has_pending = true;
+  ++pt.ops;
+}
+
+void MappedLog::on_read(std::size_t thread, std::uint64_t vaddr,
+                        std::uint64_t bytes) {
+  append(thread, TraceOp{OpKind::Read, vaddr, bytes, 0});
+}
+
+void MappedLog::on_write(std::size_t thread, std::uint64_t vaddr,
+                         std::uint64_t bytes) {
+  append(thread, TraceOp{OpKind::Write, vaddr, bytes, 0});
+}
+
+void MappedLog::on_compute(std::size_t thread, double ops) {
+  append(thread, TraceOp{OpKind::Compute, 0, 0, ops});
+}
+
+void MappedLog::on_barrier(std::size_t thread, std::uint64_t barrier_id) {
+  append(thread, TraceOp{OpKind::Barrier, barrier_id, 0, 0});
+}
+
+void MappedLog::on_dma(std::size_t thread, std::uint64_t dst_vaddr,
+                       std::uint64_t src_vaddr, std::uint64_t bytes) {
+  append(thread, TraceOp{OpKind::DmaCopy, dst_vaddr, bytes, 0, src_vaddr});
+}
+
+void MappedLog::close() {
+  if (closed_) return;
+  closed_ = true;
+  for (auto& ptp : per_thread_) {
+    PerThread& pt = *ptp;
+    encode_pending(pt);
+    const std::uint64_t payload = pt.write_off - sizeof(MappedLogFileHeader);
+    auto* h = reinterpret_cast<MappedLogFileHeader*>(pt.base);
+    h->committed_bytes = payload;
+    h->ops = pt.ops;
+    TLM_CHECK(::msync(pt.base, pt.write_off, MS_SYNC) == 0,
+              "msync failed finalizing trace log: " + errno_text());
+    TLM_CHECK(::munmap(pt.base, pt.mapped_bytes) == 0,
+              "munmap failed closing trace log");
+    pt.base = nullptr;
+    // Trim the unwritten chunk slack so on-disk size equals committed size.
+    TLM_CHECK(::ftruncate(pt.fd, static_cast<off_t>(pt.write_off)) == 0,
+              "cannot trim trace log: " + errno_text());
+    ::close(pt.fd);
+    pt.fd = -1;
+    pt.mapped_bytes = pt.write_off;
+  }
+}
+
+TraceSummary MappedLog::summary() const {
+  TraceSummary out;
+  for (const auto& pt : per_thread_) {
+    const TraceSummary& s = pt->summary;
+    out.reads += s.reads;
+    out.writes += s.writes;
+    out.computes += s.computes;
+    out.barriers += s.barriers;
+    out.dmas += s.dmas;
+    out.read_bytes += s.read_bytes;
+    out.write_bytes += s.write_bytes;
+    out.dma_bytes += s.dma_bytes;
+    out.compute_ops += s.compute_ops;
+  }
+  return out;
+}
+
+MappedLogStats MappedLog::stats() const {
+  MappedLogStats st;
+  for (const auto& pt : per_thread_) {
+    st.ops += pt->ops;
+    st.raw_ops += pt->raw_ops;
+    st.encoded_bytes += pt->write_off - sizeof(MappedLogFileHeader);
+    st.file_bytes +=
+        closed_ ? pt->write_off : pt->mapped_bytes;  // slack until trimmed
+    st.chunks += pt->chunks;
+  }
+  return st;
+}
+
+}  // namespace tlm::trace

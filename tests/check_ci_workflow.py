@@ -20,8 +20,10 @@ def fail(msg):
 
 
 def steps_text(job):
+    # Include each step's `if:` guard so conditions like the on-failure
+    # artifact uploads (`if: failure()`) are assertable.
     return "\n".join(
-        str(s.get("run", "")) + " " + str(s.get("uses", ""))
+        " ".join(str(s.get(k, "")) for k in ("run", "uses", "if"))
         for s in job.get("steps", [])
     )
 
@@ -49,6 +51,7 @@ def main():
         "model-check",
         "flake-detect",
         "chaos",
+        "trace-replay",
     ):
         if required not in jobs:
             fail(f"missing job: {required}")
@@ -69,7 +72,7 @@ def main():
     # and persist the cache across runs via actions/cache — a cold matrix
     # rebuild dominates CI wall-clock otherwise.
     for job_name in ("build-test", "sanitizers", "flake-detect",
-                     "model-check", "bench-smoke", "chaos"):
+                     "model-check", "bench-smoke", "chaos", "trace-replay"):
         jtext = steps_text(jobs[job_name])
         for needle in ("ccache", "actions/cache"):
             if needle not in jtext:
@@ -100,9 +103,27 @@ def main():
     # chaos: the fault-injection differential harness (fixed seeds + the
     # all-near-allocs-fail schedule) must stay a first-class CI gate.
     chaos = steps_text(jobs["chaos"])
-    for needle in ("-L test_chaos", "ctest"):
+    for needle in ("-L test_chaos", "ctest", "actions/upload-artifact",
+                   "failure()"):
         if needle not in chaos:
             fail(f"chaos steps must mention '{needle}'")
+
+    # trace-replay: the out-of-core determinism lane — the replay test
+    # suites (stream equality, crash recovery, chaos-seed replay) plus the
+    # cross-process gate: Table I captured through the in-RAM path and the
+    # mmap'd MappedLog path must diff to zero changed cost leaves. Failures
+    # must keep the divergent logs as artifacts.
+    tr = steps_text(jobs["trace-replay"])
+    for needle in (
+        "-L test_replay",
+        "-L test_serialize",
+        "--trace=mapped",
+        "report_diff --max-changed=0",
+        "actions/upload-artifact",
+        "failure()",
+    ):
+        if needle not in tr:
+            fail(f"trace-replay steps must mention '{needle}'")
 
     # lint: the project-invariant linter runs build-free, and its own rule
     # fixtures run first so a broken rule cannot silently pass the tree.
@@ -134,6 +155,8 @@ def main():
         "bench/baselines/table1_quick.json",
         "kmeans_scratchpad",
         "bench/baselines/kmeans_quick.json",
+        "trace_overhead",
+        "bench/baselines/trace_overhead_quick.json",
         "--warn-only",
         "actions/upload-artifact",
     ):

@@ -1,0 +1,319 @@
+// Tests for the out-of-core trace path: MappedLog capture, crash-tail
+// recovery, and ShardedReplay's fence-point merge — pinned against the
+// in-RAM TraceBuffer path, which replay must reproduce bit for bit (the
+// trace-replay CI lane's contract).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <span>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "common/faults.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "scratchpad/machine.hpp"
+#include "sim/system.hpp"
+#include "sort/sort.hpp"
+#include "trace/capture.hpp"
+#include "trace/mapped_log.hpp"
+#include "trace/replay.hpp"
+
+namespace tlm::trace {
+namespace {
+
+// Forwards every sink call to both capture paths, so one (possibly
+// fault-perturbed, thread-racing) run produces the in-RAM stream and the
+// mmap'd log from the *same* op sequence. This is how the chaos replay test
+// stays deterministic: fault occurrence numbering races across threads
+// between runs, but within one run both sinks see identical ops.
+class TeeSink final : public TraceSink {
+ public:
+  TeeSink(TraceSink& a, TraceSink& b) : a_(a), b_(b) {}
+  void on_read(std::size_t t, std::uint64_t v, std::uint64_t n) override {
+    a_.on_read(t, v, n);
+    b_.on_read(t, v, n);
+  }
+  void on_write(std::size_t t, std::uint64_t v, std::uint64_t n) override {
+    a_.on_write(t, v, n);
+    b_.on_write(t, v, n);
+  }
+  void on_compute(std::size_t t, double ops) override {
+    a_.on_compute(t, ops);
+    b_.on_compute(t, ops);
+  }
+  void on_barrier(std::size_t t, std::uint64_t id) override {
+    a_.on_barrier(t, id);
+    b_.on_barrier(t, id);
+  }
+  void on_dma(std::size_t t, std::uint64_t dst, std::uint64_t src,
+              std::uint64_t n) override {
+    a_.on_dma(t, dst, src, n);
+    b_.on_dma(t, dst, src, n);
+  }
+
+ private:
+  TraceSink& a_;
+  TraceSink& b_;
+};
+
+std::string fresh_dir(const char* name) {
+  return std::string("/tmp/tlm_replay_test_") + name + "_" +
+         std::to_string(::getpid());
+}
+
+void expect_streams_equal(const TraceSource& a, const TraceSource& b) {
+  ASSERT_EQ(a.threads(), b.threads());
+  for (std::size_t t = 0; t < a.threads(); ++t) {
+    const auto& x = a.stream(t);
+    const auto& y = b.stream(t);
+    ASSERT_EQ(x.size(), y.size()) << "thread " << t;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_EQ(x[i].kind, y[i].kind) << "thread " << t << " op " << i;
+      EXPECT_EQ(x[i].addr, y[i].addr) << "thread " << t << " op " << i;
+      EXPECT_EQ(x[i].bytes, y[i].bytes) << "thread " << t << " op " << i;
+      EXPECT_EQ(x[i].src, y[i].src) << "thread " << t << " op " << i;
+      EXPECT_DOUBLE_EQ(x[i].ops, y[i].ops) << "thread " << t << " op " << i;
+    }
+  }
+}
+
+void expect_reports_equal(const sim::SimReport& a, const sim::SimReport& b) {
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.near.accesses(), b.near.accesses());
+  EXPECT_EQ(a.far.accesses(), b.far.accesses());
+}
+
+TEST(MappedLog, StreamsMatchTraceBufferExactly) {
+  const std::string dir = fresh_dir("tee");
+  TraceBuffer tb(2);
+  {
+    MappedLog log(dir, 2);
+    TeeSink tee(tb, log);
+    // Coalescible bursts, a gap, a zero-length op, computes, DMA pairs with
+    // contiguous and non-contiguous continuations, and barriers.
+    tee.on_read(0, kFarBase, 64);
+    tee.on_read(0, kFarBase + 64, 64);    // coalesces
+    tee.on_read(0, kFarBase + 4096, 0);   // zero-length at a gap
+    tee.on_write(0, kNearBase, 256);
+    tee.on_compute(0, 10.0);
+    tee.on_compute(0, 2.5);               // merges
+    tee.on_barrier(0, 0);
+    tee.on_dma(1, kNearBase, kFarBase, 512);
+    tee.on_dma(1, kNearBase + 512, kFarBase + 512, 512);  // coalesces
+    tee.on_dma(1, kNearBase + 8192, kFarBase + 512 + 512, 64);  // dst gap
+    tee.on_barrier(1, 0);
+    log.close();
+    // The mapped sink must also agree on the aggregate summary.
+    EXPECT_EQ(log.summary().total_ops(), tb.summary().total_ops());
+    EXPECT_EQ(log.summary().read_bytes, tb.summary().read_bytes);
+    EXPECT_EQ(log.summary().dma_bytes, tb.summary().dma_bytes);
+  }
+  const ShardedReplay replay(dir);
+  expect_streams_equal(tb, replay);
+  EXPECT_EQ(replay.stats().shards, 1u);
+  EXPECT_EQ(replay.stats().recovered_threads, 0u);
+}
+
+TEST(MappedLog, RecordsStraddleChunkBoundaries) {
+  const std::string dir = fresh_dir("chunks");
+  TraceBuffer tb(1);
+  {
+    MappedLog log(dir, 1, /*chunk_bytes=*/64);  // a few records per chunk
+    TeeSink tee(tb, log);
+    for (std::uint64_t i = 0; i < 400; ++i) {
+      tee.on_read(0, kFarBase + i * 4096, 64);  // gaps defeat coalescing
+      if (i % 7 == 0) tee.on_compute(0, static_cast<double>(i));
+    }
+    log.close();
+    EXPECT_GT(log.stats().chunks, 3u);
+    EXPECT_EQ(log.stats().file_bytes,
+              log.stats().encoded_bytes + sizeof(MappedLogFileHeader));
+  }
+  expect_streams_equal(tb, ShardedReplay(dir));
+}
+
+TEST(ShardedReplay, NMsortSimulatesBitIdenticallyToInRamPath) {
+  // The CI lane in miniature — and cross-*run*, not just cross-sink: the
+  // in-RAM capture and the mapped capture are two separate executions of
+  // the same clean (fault-free) run, exactly like the two table1 processes
+  // report_diff compares. Clean captures must be run-to-run deterministic.
+  const std::string dir = fresh_dir("nmsort");
+  const TwoLevelConfig cfg = analysis::scaled_counting_config(4.0, 4, 256 * KiB);
+  analysis::CaptureRun ram = analysis::capture_sort_trace(
+      cfg, analysis::Algorithm::NMsort, 1 << 15, 21);
+  const analysis::MappedCaptureRun mapped = analysis::capture_sort_trace_mapped(
+      cfg, analysis::Algorithm::NMsort, 1 << 15, 21, dir);
+  ASSERT_TRUE(ram.counting.verified);
+  ASSERT_TRUE(mapped.counting.verified);
+
+  ThreadPool pool(4);
+  const ShardedReplay replay(dir, pool);
+  expect_streams_equal(ram.trace, replay);
+  EXPECT_GE(replay.stats().shards, 2u);
+  EXPECT_EQ(replay.stats().ops, mapped.log.ops);
+
+  sim::SystemConfig sys = sim::SystemConfig::scaled(4.0, 4);
+  sim::System a(sys, ram.trace);
+  sim::System b(sys, replay);
+  expect_reports_equal(a.run(), b.run());
+}
+
+TEST(ShardedReplay, ChaosSeedCaptureReplaysBitIdentically) {
+  // A fault-perturbed capture (chaos seed 101, the mixed schedule of
+  // test_chaos.cpp) teed to both sinks in one run: the mmap'd log must
+  // replay to the identical simulation the in-RAM stream produces.
+  const std::string dir = fresh_dir("chaos");
+  TwoLevelConfig cfg = test_config(4.0);
+  cfg.near_capacity = 256 * KiB;
+  cfg.cache_bytes = 32 * KiB;
+  cfg.threads = 4;
+  cfg.overlap_dma = true;
+
+  FaultInjector fi(101);
+  fi.arm(fault_site::kNearAlloc, FaultSchedule::prob(0.25));
+  fi.arm(fault_site::kDmaFail, FaultSchedule::prob(0.05));
+  fi.arm(fault_site::kDmaStall, FaultSchedule::prob(0.1, 1e-6));
+  fi.arm(fault_site::kFarStall, FaultSchedule::prob(0.002, 5e-7));
+
+  TraceBuffer tb(cfg.threads);
+  FaultStats observed;
+  {
+    MappedLog log(dir, cfg.threads);
+    TeeSink tee(tb, log);
+    Machine m(cfg, &tee);
+    m.set_fault_injector(&fi);
+    std::vector<std::uint64_t> keys = random_keys(100'000, 2026);
+    std::vector<std::uint64_t> out(keys.size());
+    sort::NMSortOptions opt;
+    opt.seed = 2026 ^ 0x9e3779b97f4a7c15ULL;
+    sort::nm_sort_into(m, std::span<const std::uint64_t>(keys),
+                       std::span<std::uint64_t>(out), opt);
+    m.end_phase();
+    observed = m.fault_stats();
+    log.close();
+  }
+  // The schedule must actually have bitten, or this proves nothing.
+  EXPECT_GT(observed.near_alloc_injected + observed.dma_injected +
+                observed.far_stalls,
+            0u);
+
+  ThreadPool pool(cfg.threads);
+  const ShardedReplay replay(dir, pool);
+  expect_streams_equal(tb, replay);
+
+  sim::SystemConfig sys = sim::SystemConfig::scaled(4.0, cfg.threads);
+  sim::System a(sys, tb);
+  sim::System b(sys, replay);
+  expect_reports_equal(a.run(), b.run());
+}
+
+// Writes a two-thread log where thread 0's tail is cut mid-record and its
+// header is never finalized — the on-disk state a crash leaves behind.
+struct CutLogFixture {
+  std::string dir;
+  TraceBuffer expect{2};
+
+  explicit CutLogFixture(const std::string& d) : dir(d) {
+    // Pass 1: just the prefix, to learn thread 0's exact cut offset.
+    const std::string probe = d + "_probe";
+    {
+      MappedLog log(probe, 2);
+      emit_prefix(log);
+      log.close();
+    }
+    std::ifstream probe0(mapped_log_file_path(probe, 0), std::ios::binary);
+    probe0.seekg(0, std::ios::end);
+    const auto cut = static_cast<long>(probe0.tellg()) + 1;  // mid-record
+
+    // Pass 2: the full capture, then surgery on thread 0.
+    {
+      MappedLog log(dir, 2);
+      emit_prefix(log);
+      log.on_read(0, kFarBase + 1 * MiB, 64);
+      log.on_barrier(0, 1);
+      log.on_read(0, kFarBase + 2 * MiB, 64);  // tail past the last fence
+      log.on_barrier(1, 1);
+      log.close();
+    }
+    const std::string victim = mapped_log_file_path(dir, 0);
+    {
+      // Un-finalize the header: committed_bytes and ops back to kUnfinalized.
+      std::fstream f(victim,
+                     std::ios::binary | std::ios::in | std::ios::out);
+      EXPECT_TRUE(f.is_open());
+      const std::uint64_t unfinalized[2] = {kUnfinalized, kUnfinalized};
+      f.seekp(offsetof(MappedLogFileHeader, committed_bytes));
+      f.write(reinterpret_cast<const char*>(unfinalized),
+              sizeof(unfinalized));
+    }
+    EXPECT_EQ(::truncate(victim.c_str(), cut), 0);
+
+    // What the merge must keep: both threads cut after the deepest common
+    // fence (barrier 0) — thread 1's finalized epoch-1 ops drop too.
+    emit_prefix_into(expect);
+  }
+
+  static void emit_prefix(TraceSink& s) {
+    s.on_read(0, kFarBase, 64);
+    s.on_barrier(0, 0);
+    s.on_write(1, kNearBase, 64);
+    s.on_barrier(1, 0);
+  }
+  void emit_prefix_into(TraceBuffer& tb) { emit_prefix(tb); }
+};
+
+TEST(ShardedReplay, TruncatedTailRecoversDeepestCommonFencePrefix) {
+  const CutLogFixture fx(fresh_dir("cut"));
+  const ShardedReplay replay(fx.dir);
+  EXPECT_EQ(replay.stats().recovered_threads, 1u);
+  EXPECT_EQ(replay.stats().fences, 1u);
+  expect_streams_equal(fx.expect, replay);
+}
+
+TEST(ShardedReplay, DivergentFenceSchedulesCannotMerge) {
+  const std::string dir = fresh_dir("diverge");
+  {
+    MappedLog log(dir, 2);
+    log.on_barrier(0, 0);
+    log.on_barrier(1, 5);  // same depth, different rendezvous id
+    log.close();
+  }
+  EXPECT_THROW(ShardedReplay{dir}, std::logic_error);
+}
+
+TEST(ShardedReplay, ExtraBarrierCrossingsInFinalizedLogCannotMerge) {
+  const std::string dir = fresh_dir("ragged");
+  {
+    MappedLog log(dir, 2);
+    log.on_barrier(0, 0);
+    log.on_barrier(0, 1);  // thread 0 crossed a fence thread 1 never saw...
+    log.on_barrier(1, 0);
+    log.close();           // ...and nothing crashed to excuse it
+  }
+  EXPECT_THROW(ShardedReplay{dir}, std::logic_error);
+}
+
+TEST(ShardedReplay, MissingManifestThrows) {
+  EXPECT_THROW(ShardedReplay{"/nonexistent/tlm_replay_dir"},
+               std::invalid_argument);
+}
+
+TEST(MappedLog, AppendAfterCloseThrows) {
+  const std::string dir = fresh_dir("closed");
+  MappedLog log(dir, 1);
+  log.on_read(0, kFarBase, 64);
+  log.close();
+  EXPECT_TRUE(log.closed());
+  EXPECT_THROW(log.on_read(0, kFarBase, 64), std::logic_error);
+  log.close();  // idempotent
+}
+
+}  // namespace
+}  // namespace tlm::trace

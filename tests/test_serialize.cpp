@@ -32,7 +32,8 @@ bool equal(const TraceBuffer& a, const TraceBuffer& b) {
     if (x.size() != y.size()) return false;
     for (std::size_t i = 0; i < x.size(); ++i)
       if (x[i].kind != y[i].kind || x[i].addr != y[i].addr ||
-          x[i].bytes != y[i].bytes || x[i].ops != y[i].ops)
+          x[i].bytes != y[i].bytes || x[i].ops != y[i].ops ||
+          x[i].src != y[i].src)
         return false;
   }
   return true;
@@ -81,6 +82,91 @@ TEST(TraceSerialize, FileRoundTrip) {
 
 TEST(TraceSerialize, MissingFileThrows) {
   EXPECT_THROW(load_trace_file("/nonexistent/dir/trace.bin"),
+               std::invalid_argument);
+}
+
+TEST(TraceSerialize, V2RoundTripStillWritable) {
+  // The POD format stays writable and loadable alongside the varint default.
+  const TraceBuffer tb = sample_trace();
+  std::stringstream ss;
+  save_trace(tb, ss, kTraceVersionPod);
+  EXPECT_TRUE(equal(tb, load_trace(ss)));
+}
+
+TEST(TraceSerialize, V2AndV3LoadIdenticalStreams) {
+  // Both encodings of a real captured trace must decode to the same ops —
+  // v3 is a wire change, not a semantic one.
+  const TwoLevelConfig cfg =
+      analysis::scaled_counting_config(4.0, 4, 256 * KiB);
+  const analysis::CaptureRun cap = analysis::capture_sort_trace(
+      cfg, analysis::Algorithm::NMsort, 1 << 14, 33);
+  std::stringstream pod, varint;
+  save_trace(cap.trace, pod, kTraceVersionPod);
+  save_trace(cap.trace, varint, kTraceVersionVarint);
+  EXPECT_LT(varint.str().size(), pod.str().size() / 4);  // the point of v3
+  const TraceBuffer from_pod = load_trace(pod);
+  const TraceBuffer from_varint = load_trace(varint);
+  EXPECT_TRUE(equal(from_pod, from_varint));
+  EXPECT_TRUE(equal(cap.trace, from_varint));
+}
+
+TEST(TraceSerialize, ZeroLengthOpsSurvive) {
+  TraceBuffer tb(1);
+  tb.on_read(0, kFarBase, 0);            // zero-length burst
+  tb.on_write(0, kNearBase + 4096, 0);   // at a gap
+  tb.on_dma(0, kNearBase, kFarBase + 1 * MiB, 0);
+  tb.on_barrier(0, 0);
+  std::stringstream ss;
+  save_trace(tb, ss, kTraceVersionVarint);
+  EXPECT_TRUE(equal(tb, load_trace(ss)));
+}
+
+TEST(TraceSerialize, MaxU64AddressDeltasRoundTrip) {
+  // Deltas are wrapping-u64 zigzag; the extreme jumps — 0 -> ~0, back to 0,
+  // and the sign-bit delta 2^63 — must each round-trip exactly.
+  wire::Codec enc, dec;
+  std::vector<std::uint8_t> buf;
+  const TraceOp ops[] = {
+      {OpKind::Read, 0, 1, 0, 0},
+      {OpKind::Read, ~0ULL, 0, 0, 0},          // forward jump of ~2^64
+      {OpKind::Write, 0, 0, 0, 0},             // wraps back down
+      {OpKind::Read, 1ULL << 63, 64, 0, 0},    // the zigzag sign boundary
+      {OpKind::DmaCopy, ~0ULL - 63, 64, 0, ~0ULL - 63},  // dst+bytes wraps
+  };
+  for (const TraceOp& op : ops) wire::encode_op(buf, enc, op);
+  const std::uint8_t* p = buf.data();
+  const std::uint8_t* end = p + buf.size();
+  for (const TraceOp& want : ops) {
+    TraceOp got{};
+    ASSERT_TRUE(wire::decode_op(&p, end, dec, &got));
+    EXPECT_EQ(got.kind, want.kind);
+    EXPECT_EQ(got.addr, want.addr);
+    EXPECT_EQ(got.bytes, want.bytes);
+    EXPECT_EQ(got.src, want.src);
+  }
+  EXPECT_EQ(p, end);
+}
+
+TEST(TraceSerialize, TruncatedRecordSignalsWithoutConsuming) {
+  wire::Codec enc;
+  std::vector<std::uint8_t> buf;
+  wire::encode_op(buf, enc, TraceOp{OpKind::Read, kFarBase, 4096, 0, 0});
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    wire::Codec dec;
+    const std::uint8_t* p = buf.data();
+    TraceOp op{};
+    EXPECT_FALSE(wire::decode_op(&p, p + cut, dec, &op)) << "cut " << cut;
+    EXPECT_EQ(p, buf.data()) << "cut " << cut;  // *p must not advance
+  }
+}
+
+TEST(TraceSerialize, OverlongVarintRejected) {
+  // 11 continuation bytes can never be a valid u64 varint: corrupt, not
+  // merely truncated, so the decoder throws instead of signaling recovery.
+  std::vector<std::uint8_t> buf(11, 0x80);
+  const std::uint8_t* p = buf.data();
+  std::uint64_t v = 0;
+  EXPECT_THROW(wire::get_uvarint(&p, p + buf.size(), &v),
                std::invalid_argument);
 }
 

@@ -133,5 +133,28 @@ TEST(MachineIntegration, ClearEmptiesStreams) {
   EXPECT_EQ(tb.summary().total_ops(), 0u);
 }
 
+TEST(TraceBuffer, ClearResetsSummaryAndCoalescingState) {
+  // Regression: clear() must drop the whole incremental summary — not just
+  // the streams — and a post-clear op must not merge into (or delta against)
+  // any pre-clear predecessor.
+  TraceBuffer tb(1);
+  tb.on_read(0, 0x1000, 64);
+  tb.on_read(0, 0x1040, 64);  // coalesces: summary sees 1 read, 128 B
+  tb.on_compute(0, 9.0);
+  tb.on_barrier(0, 0);
+  tb.clear();
+
+  tb.on_read(0, 0x1080, 64);  // would extend the stale tail if it survived
+  ASSERT_EQ(tb.stream(0).size(), 1u);
+  EXPECT_EQ(tb.stream(0)[0].addr, 0x1080u);
+  EXPECT_EQ(tb.stream(0)[0].bytes, 64u);
+
+  const TraceSummary& s = tb.summary();
+  EXPECT_EQ(s.reads, 1u);
+  EXPECT_EQ(s.read_bytes, 64u);
+  EXPECT_EQ(s.barriers, 0u);
+  EXPECT_DOUBLE_EQ(s.compute_ops, 0.0);
+}
+
 }  // namespace
 }  // namespace tlm::trace
