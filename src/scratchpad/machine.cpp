@@ -348,6 +348,17 @@ StagerStats Machine::stager_stats() const {
 }
 
 void Machine::run_spmd(const std::function<void(std::size_t)>& fn) {
+  if (sink_) {
+    // The fork is a rendezvous too: everything the orchestrator did before
+    // dispatch happens-before every worker's section ops (the pool handoff
+    // is the host-side edge). Without this marker an offline analyzer
+    // (analyze/racecheck.hpp) would see the orchestrator's sequential-tail
+    // writes as concurrent with the section that reads them.
+    const std::uint64_t fork_id =
+        barrier_id_.fetch_add(1, std::memory_order_acq_rel);
+    for (std::size_t t = 0; t < cfg_.threads; ++t)
+      sink_->on_barrier(t, fork_id);
+  }
   pool_.run_spmd(fn);
   if (sink_) {
     // The join is a rendezvous of every worker: record it in each stream.

@@ -128,7 +128,8 @@ void MappedLog::encode_pending(PerThread& pt) {
 
 void MappedLog::append(std::size_t thread, const TraceOp& op) {
   TLM_REQUIRE(thread < per_thread_.size(), "thread id outside trace");
-  TLM_CHECK(!closed_, "append to a closed MappedLog");
+  TLM_CHECK(!closed_.load(std::memory_order_acquire),
+            "append to a closed MappedLog");
   PerThread& pt = *per_thread_[thread];
   ++pt.raw_ops;
   const bool coalesced = pt.has_pending && try_coalesce(pt.pending, op);
@@ -164,8 +165,10 @@ void MappedLog::on_dma(std::size_t thread, std::uint64_t dst_vaddr,
 }
 
 void MappedLog::close() {
-  if (closed_) return;
-  closed_ = true;
+  MutexLock lock(lifecycle_mu_);
+  if (finalized_) return;
+  finalized_ = true;
+  closed_.store(true, std::memory_order_release);
   for (auto& ptp : per_thread_) {
     PerThread& pt = *ptp;
     encode_pending(pt);
@@ -188,6 +191,7 @@ void MappedLog::close() {
 }
 
 TraceSummary MappedLog::summary() const {
+  MutexLock lock(lifecycle_mu_);
   TraceSummary out;
   for (const auto& pt : per_thread_) {
     const TraceSummary& s = pt->summary;
@@ -205,13 +209,15 @@ TraceSummary MappedLog::summary() const {
 }
 
 MappedLogStats MappedLog::stats() const {
+  MutexLock lock(lifecycle_mu_);
+  const bool trimmed = closed_.load(std::memory_order_acquire);
   MappedLogStats st;
   for (const auto& pt : per_thread_) {
     st.ops += pt->ops;
     st.raw_ops += pt->raw_ops;
     st.encoded_bytes += pt->write_off - sizeof(MappedLogFileHeader);
     st.file_bytes +=
-        closed_ ? pt->write_off : pt->mapped_bytes;  // slack until trimmed
+        trimmed ? pt->write_off : pt->mapped_bytes;  // slack until trimmed
     st.chunks += pt->chunks;
   }
   return st;

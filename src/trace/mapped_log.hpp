@@ -22,13 +22,20 @@
 // separated state, matching the TraceSink contract (concurrent calls must
 // use distinct thread ids). summary()/stats()/close() are capture-quiescent
 // operations: call them only after the traced run has joined its threads.
+// They serialize against each other under lifecycle_mu_ (so a concurrent
+// close()+stats() pair cannot observe a half-finalized log), and append()
+// checks the closed flag through an atomic — a late appender racing close()
+// is a caller bug, but it fails the TLM_CHECK deterministically instead of
+// tearing a plain bool.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "trace/capture.hpp"
 #include "trace/serialize.hpp"
 #include "trace/sink.hpp"
@@ -86,15 +93,15 @@ class MappedLog final : public TraceSink {
 
   // Flushes pending ops, finalizes every header (committed_bytes/ops), trims
   // chunk slack, msyncs, and unmaps. Idempotent; called by the destructor.
-  void close();
-  bool closed() const { return closed_; }
+  void close() TLM_EXCLUDES(lifecycle_mu_);
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
 
   std::size_t threads() const { return per_thread_.size(); }
   const std::string& dir() const { return dir_; }
 
   // Aggregated over all threads; includes pending (not yet encoded) ops.
-  TraceSummary summary() const;
-  MappedLogStats stats() const;
+  TraceSummary summary() const TLM_EXCLUDES(lifecycle_mu_);
+  MappedLogStats stats() const TLM_EXCLUDES(lifecycle_mu_);
 
  private:
   struct PerThread;
@@ -104,8 +111,17 @@ class MappedLog final : public TraceSink {
 
   std::string dir_;
   std::size_t chunk_bytes_;
+  // The PerThread blocks themselves are lock-free by ownership: each is
+  // written only by its appender thread while the capture runs, and only by
+  // the (quiescent) finalizer/observers afterwards. The vector is immutable
+  // after construction.
   std::vector<std::unique_ptr<PerThread>> per_thread_;
-  bool closed_ = false;
+  // Serializes finalization against the aggregate observers and makes
+  // double-close idempotent even when racing.
+  mutable Mutex lifecycle_mu_;
+  bool finalized_ TLM_GUARDED_BY(lifecycle_mu_) = false;
+  // Fast-path flag append() checks without taking the lifecycle lock.
+  std::atomic<bool> closed_{false};
 };
 
 // Writes `<dir>/manifest.tlm` naming the format version, thread count, and

@@ -98,6 +98,12 @@ ShardedReplay::ShardedReplay(const std::string& dir, ThreadPool& pool) {
   load(dir, &pool);
 }
 
+void ShardedReplay::note_shard_done(std::exception_ptr error) {
+  MutexLock lock(merge_mu_);
+  ++shards_done_;
+  if (error && !first_shard_error_) first_shard_error_ = error;
+}
+
 ShardedReplay::ShardedReplay(const std::string& dir) { load(dir, nullptr); }
 
 void ShardedReplay::load(const std::string& dir, ThreadPool* pool) {
@@ -120,25 +126,26 @@ void ShardedReplay::load(const std::string& dir, ThreadPool* pool) {
   if (pool != nullptr && pool->size() > 1 && threads > 1) {
     // Shard = one worker's contiguous group of trace threads. Exceptions
     // cannot unwind across the pool's join, so each shard parks the first
-    // one it hits and the caller rethrows after the barrier.
-    std::vector<std::exception_ptr> errors(pool->size());
-    std::atomic<std::uint64_t> shards{0};
+    // one it hits (note_shard_done, under merge_mu_) and the caller
+    // rethrows after the barrier.
     pool->parallel_for(0, threads,
-                       [&](std::size_t worker, std::size_t begin,
-                           std::size_t end) {
+                       [&](std::size_t, std::size_t begin, std::size_t end) {
                          if (begin == end) return;
-                         shards.fetch_add(1, std::memory_order_relaxed);
+                         std::exception_ptr error;
                          try {
                            for (std::size_t t = begin; t < end; ++t)
                              meta[t] =
                                  decode_thread_log(dir, t, streams_[t]);
                          } catch (...) {
-                           errors[worker] = std::current_exception();
+                           error = std::current_exception();
                          }
+                         note_shard_done(error);
                        });
-    for (const std::exception_ptr& e : errors)
-      if (e) std::rethrow_exception(e);
-    stats_.shards = shards.load();
+    {
+      MutexLock lock(merge_mu_);
+      if (first_shard_error_) std::rethrow_exception(first_shard_error_);
+      stats_.shards = shards_done_;
+    }
   } else {
     for (std::size_t t = 0; t < threads; ++t)
       meta[t] = decode_thread_log(dir, t, streams_[t]);

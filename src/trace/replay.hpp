@@ -21,9 +21,11 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "trace/capture.hpp"
 
 namespace tlm {
@@ -60,9 +62,17 @@ class ShardedReplay final : public TraceSource {
 
  private:
   void load(const std::string& dir, ThreadPool* pool);
+  // Called by each decode shard as it finishes: counts the shard and parks
+  // its first exception (unwinding cannot cross the pool join). The decode
+  // workers write disjoint streams_/meta slots and share nothing else, so
+  // this is the only cross-shard state and it stays behind merge_mu_.
+  void note_shard_done(std::exception_ptr error) TLM_EXCLUDES(merge_mu_);
 
   std::vector<std::vector<TraceOp>> streams_;
   ReplayStats stats_;
+  Mutex merge_mu_;
+  std::uint64_t shards_done_ TLM_GUARDED_BY(merge_mu_) = 0;
+  std::exception_ptr first_shard_error_ TLM_GUARDED_BY(merge_mu_);
 };
 
 }  // namespace tlm::trace

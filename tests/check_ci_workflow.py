@@ -52,6 +52,7 @@ def main():
         "flake-detect",
         "chaos",
         "trace-replay",
+        "racecheck",
     ):
         if required not in jobs:
             fail(f"missing job: {required}")
@@ -72,7 +73,8 @@ def main():
     # and persist the cache across runs via actions/cache — a cold matrix
     # rebuild dominates CI wall-clock otherwise.
     for job_name in ("build-test", "sanitizers", "flake-detect",
-                     "model-check", "bench-smoke", "chaos", "trace-replay"):
+                     "model-check", "bench-smoke", "chaos", "trace-replay",
+                     "racecheck"):
         jtext = steps_text(jobs[job_name])
         for needle in ("ccache", "actions/cache"):
             if needle not in jtext:
@@ -119,11 +121,30 @@ def main():
         "-L test_serialize",
         "--trace=mapped",
         "report_diff --max-changed=0",
+        "tlm_racecheck --warn-only",
         "actions/upload-artifact",
         "failure()",
     ):
         if needle not in tr:
             fail(f"trace-replay steps must mention '{needle}'")
+
+    # racecheck: the happens-before analysis lane — the injected-bug fixture
+    # suites (every detector fires; every near-miss stays clean), fresh
+    # chaos-seed captures, and the Table I mapped-trace run directories must
+    # all pass the analyzer; failures keep the reports as artifacts.
+    rc = steps_text(jobs["racecheck"])
+    for needle in (
+        "tlm_racecheck --self-test",
+        "-L test_racecheck",
+        "--capture=nmsort",
+        "--chaos-seed",
+        "--trace=mapped",
+        "--trace-dir",
+        "actions/upload-artifact",
+        "failure()",
+    ):
+        if needle not in rc:
+            fail(f"racecheck steps must mention '{needle}'")
 
     # lint: the project-invariant linter runs build-free, and its own rule
     # fixtures run first so a broken rule cannot silently pass the tree.
@@ -157,6 +178,8 @@ def main():
         "bench/baselines/kmeans_quick.json",
         "trace_overhead",
         "bench/baselines/trace_overhead_quick.json",
+        "racecheck_overhead",
+        "bench/baselines/racecheck_quick.json",
         "--warn-only",
         "actions/upload-artifact",
     ):

@@ -300,6 +300,57 @@ TEST(ShardedReplay, ExtraBarrierCrossingsInFinalizedLogCannotMerge) {
   EXPECT_THROW(ShardedReplay{dir}, std::logic_error);
 }
 
+TEST(ShardedReplay, LegalInterleavingsWithRaggedEpochOpCountsMerge) {
+  // Adversarial-but-legal input: both threads cross the identical Barrier-id
+  // schedule, but their per-epoch op counts differ wildly (thread 0 does the
+  // bulk of epoch 0, thread 1 the bulk of epoch 1, with coalescing-resistant
+  // strides). The merge validator must accept this — only the fence
+  // *schedule* is the contract, never per-epoch op counts — and the decoded
+  // streams must be bit-identical to the in-RAM capture.
+  const std::string dir = fresh_dir("legal_ragged");
+  TraceBuffer expect(2);
+  {
+    MappedLog log(dir, 2, /*chunk_bytes=*/512);  // force chunk growth too
+    TeeSink tee(expect, log);
+    for (int i = 0; i < 64; ++i)
+      tee.on_read(0, kFarBase + 4096 * i, 64);  // strided: 64 records
+    tee.on_write(1, kNearBase, 64);             // one lone op
+    tee.on_barrier(0, 0);
+    tee.on_barrier(1, 0);
+    tee.on_compute(0, 1.0);  // epoch 1 flips the imbalance
+    for (int i = 0; i < 64; ++i)
+      tee.on_write(1, kNearBase + 4096 * i, 64);
+    tee.on_dma(1, kNearBase, kFarBase, 256);
+    tee.on_barrier(0, 1);
+    tee.on_barrier(1, 1);
+    tee.on_barrier(0, 2);  // an empty epoch for both
+    tee.on_barrier(1, 2);
+    log.close();
+  }
+  const ShardedReplay replay(dir);
+  EXPECT_EQ(replay.stats().fences, 3u);
+  EXPECT_EQ(replay.stats().recovered_threads, 0u);
+  expect_streams_equal(expect, replay);
+}
+
+TEST(ShardedReplay, InterleavedScheduleDivergenceIsCaughtMidStream) {
+  // The schedules agree for two fences and only then fork — the validator
+  // must flag the first divergent fence, not just index-0 mismatches.
+  const std::string dir = fresh_dir("mid_diverge");
+  {
+    MappedLog log(dir, 2);
+    for (std::uint64_t f = 0; f < 2; ++f) {
+      log.on_barrier(0, f);
+      log.on_barrier(1, f);
+    }
+    log.on_read(0, kFarBase, 64);
+    log.on_barrier(0, 2);
+    log.on_barrier(1, 9);  // legal depth, wrong rendezvous
+    log.close();
+  }
+  EXPECT_THROW(ShardedReplay{dir}, std::logic_error);
+}
+
 TEST(ShardedReplay, MissingManifestThrows) {
   EXPECT_THROW(ShardedReplay{"/nonexistent/tlm_replay_dir"},
                std::invalid_argument);

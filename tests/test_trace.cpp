@@ -91,7 +91,7 @@ TEST(MachineIntegration, OperationsAppearInTrace) {
   EXPECT_EQ(s.reads, 2u);          // one far read burst per thread
   EXPECT_EQ(s.writes, 2u);         // one near write burst per thread
   EXPECT_EQ(s.read_bytes, 4096u * 8);
-  EXPECT_EQ(s.barriers, 2u);       // the SPMD join, one marker per thread
+  EXPECT_EQ(s.barriers, 4u);       // SPMD fork + join, one marker per thread
   EXPECT_DOUBLE_EQ(s.compute_ops, 200.0);
 
   // Reads target the far region, writes the near region.
@@ -116,12 +116,13 @@ TEST(MachineIntegration, BarrierEpochsAreConsistentAcrossThreads) {
   for (int round = 0; round < 3; ++round)
     m.run_spmd([&](std::size_t w) { m.compute(w, 1.0); });
 
-  // Every thread must see barrier ids 0,1,2 in order.
+  // Every thread must see the fork/join barrier ids 0..5 in order.
   for (std::size_t t = 0; t < 4; ++t) {
     std::vector<std::uint64_t> ids;
     for (const TraceOp& op : tb.stream(t))
       if (op.kind == OpKind::Barrier) ids.push_back(op.addr);
-    EXPECT_EQ(ids, (std::vector<std::uint64_t>{0, 1, 2})) << "thread " << t;
+    EXPECT_EQ(ids, (std::vector<std::uint64_t>{0, 1, 2, 3, 4, 5}))
+        << "thread " << t;
   }
 }
 

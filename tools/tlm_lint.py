@@ -36,6 +36,16 @@ textually over src/:
                      under near pressure; ignoring the nullptr/empty result
                      turns an injected denial into memory corruption. Use
                      alloc_array_near_or_far for transparent fallback.
+  dma-fence-discipline  Within one function region, a dma_copy destination
+                     must not be read again before a fence token (a sync /
+                     wait / fence / barrier / run_spmd / parallel_for
+                     call): the DMA engine may still be writing the bytes
+                     behind the descriptor. Re-posting to the same
+                     destination stays legal (same-thread descriptors are
+                     FIFO-ordered), as does a read issued before the post
+                     (program order covers it). This is the static twin of
+                     the dynamic UnfencedDmaRead detector in
+                     src/analyze/racecheck.hpp.
 
 Escape hatches (always give a reason after a colon):
 
@@ -84,6 +94,15 @@ RE_INCLUDE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 RE_NEAR_ALLOC = re.compile(
     r"\b(?:alloc_array\s*<[^;({]*>|alloc)\s*\(\s*Space::Near\b")
 RE_DMA_CALL = re.compile(r"\bdma_copy\s*\(")
+# Member-call posts only (`m.dma_copy(` / `machine->dma_copy(`): the
+# Machine::dma_copy definition itself must not count as a post.
+RE_DMA_POST = re.compile(r"[.>]\s*dma_copy\s*\(")
+# Anything that completes posted DMA descriptors before the next read: the
+# explicit sync/wait/fence families plus the SPMD rendezvous entry points
+# (run_spmd / parallel_for), whose barrier fences outstanding descriptors.
+RE_FENCE_TOKEN = re.compile(
+    r"\b\w*(?:sync|wait|fence|barrier|run_spmd|parallel_for)\w*\s*\(")
+RE_IDENT = re.compile(r"\b([A-Za-z_]\w*)\s*(\[[^\]]*\])?")
 RE_TRY_ALLOC = re.compile(r"\btry_alloc(?:_array)?_near\b")
 RE_TRY_ASSIGN = re.compile(
     r"([A-Za-z_]\w*)\s*=[^=<>][^;]*\btry_alloc(?:_array)?_near\b")
@@ -114,48 +133,179 @@ def rel(path, root):
     return os.path.relpath(path, root).replace(os.sep, "/")
 
 
-def staging_violations(scrubbed):
-    """Finds hand-rolled staging pipelines: function bodies holding >= 2
-    Space::Near allocations plus a dma_copy call.
+def scan_function_regions(scrubbed, line_events):
+    """Drives the function-region brace scanner over column-tagged events.
 
-    A lightweight brace scanner: a brace group whose header contains a
-    parenthesized parameter list and no type/namespace keyword is treated as
-    one function region (nested blocks and lambdas merge into it). Returns
-    the line number of the first dma_copy in each offending region.
+    A brace group whose header contains a parenthesized parameter list and
+    no type/namespace keyword is treated as one function region (nested
+    blocks and lambdas merge into it). `line_events(lineno, line)` returns a
+    list of (column, tag, payload) tuples for one line; the scanner yields
+    ("event", lineno, tag, payload) for each event whose column falls inside
+    an open region — column-aware, so a one-line body `void f() { ... }`
+    counts its content, and text after the closing `}` does not — plus
+    ("open", lineno, None, None) / ("close", lineno, None, None) at region
+    boundaries.
     """
-    out = []
     depth = 0
     fn_depth = None  # brace depth at which the open function region started
-    near = 0
-    dma = []
     header = []  # code seen since the last statement boundary at outer scope
     for lineno, line in enumerate(scrubbed, start=1):
-        if fn_depth is not None:
-            near += len(RE_NEAR_ALLOC.findall(line))
-            dma.extend(lineno for _ in RE_DMA_CALL.finditer(line))
-        for ch in line:
+        events = sorted(line_events(lineno, line), key=lambda e: e[0])
+        ei = 0
+        for col, ch in enumerate(line):
+            while ei < len(events) and events[ei][0] <= col:
+                if fn_depth is not None:
+                    yield ("event", lineno, events[ei][1], events[ei][2])
+                ei += 1
             if ch == "{":
                 if fn_depth is None:
                     h = "".join(header)
                     if ("(" in h and ")" in h
                             and not RE_BLOCK_KEYWORD.search(h)):
                         fn_depth = depth
-                        near = 0
-                        dma = []
+                        yield ("open", lineno, None, None)
                     header = []
                 depth += 1
             elif ch == "}":
                 depth -= 1
                 if fn_depth is not None and depth <= fn_depth:
-                    if near >= 2 and dma:
-                        out.append(dma[0])
                     fn_depth = None
+                    yield ("close", lineno, None, None)
                 header = []
             elif ch == ";":
                 if fn_depth is None:
                     header = []
             elif fn_depth is None:
                 header.append(ch)
+        while ei < len(events):  # events past the last brace on the line
+            if fn_depth is not None:
+                yield ("event", lineno, events[ei][1], events[ei][2])
+            ei += 1
+
+
+def staging_violations(scrubbed):
+    """Finds hand-rolled staging pipelines: function bodies holding >= 2
+    Space::Near allocations plus a dma_copy call. Returns the line number
+    of the first dma_copy in each offending region.
+    """
+    def events(_, line):
+        return ([(m.start(), "near", None)
+                 for m in RE_NEAR_ALLOC.finditer(line)]
+                + [(m.start(), "dma", None)
+                   for m in RE_DMA_CALL.finditer(line)])
+
+    out = []
+    near = 0
+    dma = []
+    for kind, lineno, tag, _ in scan_function_regions(scrubbed, events):
+        if kind == "open":
+            near = 0
+            dma = []
+        elif kind == "close":
+            if near >= 2 and dma:
+                out.append(dma[0])
+        elif tag == "near":
+            near += 1
+        else:
+            dma.append(lineno)
+    return out
+
+
+def dma_post_parse(line, open_idx):
+    """Parses a dma_copy call whose '(' sits at column open_idx.
+
+    Returns (end_col, dst_root, open_depth): end_col is one past the
+    closing ')', or len(line) with open_depth > 0 when the call continues
+    on the next line; dst_root is the second argument's root expression —
+    leading identifier plus an optional subscript, e.g. `bufs[i + 1]` from
+    `bufs[i + 1] + off` — or None when it isn't visible on this line.
+    """
+    depth = 0
+    args = []
+    start = open_idx + 1
+    end = len(line)
+    for idx in range(open_idx, len(line)):
+        ch = line[idx]
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+            if depth == 0:
+                args.append(line[start:idx])
+                end = idx + 1
+                break
+        elif ch == "," and depth == 1:
+            args.append(line[start:idx])
+            start = idx + 1
+    root = None
+    dst = args[1] if len(args) >= 2 else None
+    if dst:
+        m = re.match(r"\s*&?\s*([A-Za-z_]\w*)\s*((?:\[[^\]]*\])?)", dst)
+        if m and m.group(1) not in ("static_cast", "reinterpret_cast",
+                                    "const_cast", "dynamic_cast"):
+            root = m.group(1) + re.sub(r"\s+", "", m.group(2))
+    return end, root, max(depth, 0)
+
+
+def fence_discipline_violations(scrubbed):
+    """Finds DmaCopy destinations consumed before a fence.
+
+    Within one function region, after `x.dma_copy(t, DST, ...)` posts a
+    descriptor, any later read of DST's root expression before a fence
+    token (a sync / wait / fence / barrier / run_spmd / parallel_for call)
+    is flagged: the engine may still be writing those bytes. Re-posting to
+    the same destination is not a read (same-thread descriptors are FIFO),
+    and a read issued before the post is ordered by program order, so
+    neither counts. Returns (use_line, root, post_line) tuples.
+    """
+    carry = {"depth": 0}  # paren depth of a dma_copy call left open at EOL
+
+    def events(_lineno, line):
+        evs = []
+        spans = []  # columns inside dma_copy calls: idents there aren't reads
+        if carry["depth"]:
+            depth = carry["depth"]
+            close = len(line)
+            for idx, ch in enumerate(line):
+                if ch in "([":
+                    depth += 1
+                elif ch in ")]":
+                    depth -= 1
+                    if depth == 0:
+                        close = idx + 1
+                        break
+            spans.append((0, close))
+            carry["depth"] = depth if close == len(line) else 0
+        for m in RE_DMA_POST.finditer(line):
+            if any(a <= m.start() < b for a, b in spans):
+                continue
+            end, root, left = dma_post_parse(line, m.end() - 1)
+            spans.append((m.start(), end))
+            carry["depth"] = left
+            evs.append((m.start(), "dma", root))
+        for m in RE_FENCE_TOKEN.finditer(line):
+            if not any(a <= m.start() < b for a, b in spans):
+                evs.append((m.start(), "fence", None))
+        for m in RE_IDENT.finditer(line):
+            if not any(a <= m.start() < b for a, b in spans):
+                sub = re.sub(r"\s+", "", m.group(2) or "")
+                evs.append((m.start(), "use",
+                            (m.group(1), m.group(1) + sub)))
+        return evs
+
+    out = []
+    posted = {}  # dst root -> line of the un-fenced post targeting it
+    for kind, lineno, tag, payload in scan_function_regions(scrubbed, events):
+        if kind != "event" or tag == "fence":
+            posted.clear()
+        elif tag == "dma":
+            if payload:
+                posted[payload] = lineno
+        else:
+            name, full = payload
+            key = full if full in posted else name if name in posted else None
+            if key is not None:
+                out.append((lineno, key, posted.pop(key)))
     return out
 
 
@@ -323,6 +473,14 @@ class Linter:
                     "function — use the Stager primitive "
                     "(scratchpad/stager.hpp)", lines, file_allows)
 
+        for use_line, root, post_line in fence_discipline_violations(scrubbed):
+            self.report(
+                path, use_line, "dma-fence-discipline",
+                f"`{root}` is read here but a dma_copy posted to it on line "
+                f"{post_line} with no fence between — the engine may still "
+                "be writing it; sync/run_spmd before consuming",
+                lines, file_allows)
+
     def run(self):
         for dirpath, _, filenames in os.walk(self.src):
             for fn in sorted(filenames):
@@ -334,7 +492,7 @@ class Linter:
 RULES = [
     "raw-thread", "raw-alloc", "unaccounted-buffer", "counters-mutation",
     "banned-function", "include-hygiene", "hand-rolled-staging",
-    "unchecked-try-alloc",
+    "unchecked-try-alloc", "dma-fence-discipline",
 ]
 
 
@@ -416,6 +574,123 @@ void pipelined_gather(Machine& m, std::uint64_t cap) {
   auto buf1 = m.alloc_array<std::byte>(Space::Near, cap);
   // tlm-lint: allow(hand-rolled-staging): fixture exercising the escape
   m.dma_copy(0, buf1.data(), src, cap);
+}
+""",
+    ),
+    (
+        # Regression: the pre-column-aware scanner counted a line's matches
+        # only when the region was already open at the line's start, so a
+        # one-line function body was invisible to the staging rule.
+        "staging-one-line-body-fires",
+        "src/foo/oneline.cpp",
+        "hand-rolled-staging",
+        """\
+void g(Machine& m, std::uint64_t c) { auto a = m.alloc(Space::Near, c); auto b = m.alloc(Space::Near, c); m.dma_copy(0, b, src, c); }
+""",
+    ),
+    (
+        # Regression: content sharing a line with the region-opening `{`
+        # (split headers) was skipped for the same reason.
+        "staging-content-on-region-brace-lines-fires",
+        "src/foo/braceline.cpp",
+        "hand-rolled-staging",
+        """\
+void gather(Machine& m,
+            std::uint64_t c) { auto a = m.alloc(Space::Near, c);
+  auto b = m.alloc(Space::Near, c);
+  m.dma_copy(0, b, src, c); }
+""",
+    ),
+    (
+        # Column-awareness must also cut the other way: matches after the
+        # region-closing `}` on the same line belong to the next region.
+        "staging-after-region-close-is-clean",
+        "src/foo/afterclose.cpp",
+        None,
+        """\
+void a(Machine& m, std::uint64_t c) { auto x = m.alloc(Space::Near, c); }
+void b(Machine& m, std::uint64_t c) { m.dma_copy(0, q, src, c); auto y = m.alloc(Space::Near, c); }
+""",
+    ),
+    (
+        # One-line `if` bodies without braces stay inside the region (they
+        # open no brace scope), so their matches must count.
+        "staging-one-line-if-bodies-fire",
+        "src/foo/ifbody.cpp",
+        "hand-rolled-staging",
+        """\
+void gather(Machine& m, bool go, std::uint64_t c) {
+  if (go) bufs[0] = m.alloc(Space::Near, c);
+  if (go) bufs[1] = m.alloc(Space::Near, c);
+  if (go) m.dma_copy(0, bufs[1], src, c);
+}
+""",
+    ),
+    (
+        "fence-unfenced-consume-fires",
+        "src/foo/unfenced.cpp",
+        "dma-fence-discipline",
+        """\
+void consume(Machine& m, const std::byte* src, std::uint64_t n) {
+  auto stage = m.alloc_array<std::byte>(Space::Near, n);
+  m.dma_copy(0, stage.data(), src, n);
+  process(stage.data(), n);
+}
+""",
+    ),
+    (
+        "fence-synced-consume-is-clean",
+        "src/foo/fenced.cpp",
+        None,
+        """\
+void consume(Machine& m, const std::byte* src, std::uint64_t n) {
+  auto stage = m.alloc_array<std::byte>(Space::Near, n);
+  m.dma_copy(0, stage.data(), src, n);
+  m.sync(0);
+  process(stage.data(), n);
+}
+""",
+    ),
+    (
+        # Same-thread descriptors are FIFO: a re-post over an in-flight
+        # destination is not a read, and run_spmd fences before the consume.
+        "fence-fifo-repost-is-clean",
+        "src/foo/repost.cpp",
+        None,
+        """\
+void repost(Machine& m, std::byte* a, const std::byte* s, std::uint64_t n) {
+  m.dma_copy(0, a, s, n);
+  m.dma_copy(0, a, s + n, n);
+  m.run_spmd(worker);
+  consume(a, n);
+}
+""",
+    ),
+    (
+        # Double-buffer parity: reading the *other* subscript of the posted
+        # array is the legal half of the pipeline and must not flag.
+        "fence-subscript-parity-is-clean",
+        "src/foo/parity.cpp",
+        None,
+        """\
+void flip(Machine& m, const std::byte* s, std::uint64_t n) {
+  m.dma_copy(0, bufs[1], s, n);
+  consume(bufs[0], n);
+  m.run_spmd(worker);
+  consume(bufs[1], n);
+}
+""",
+    ),
+    (
+        "fence-allow-escape-hatch",
+        "src/foo/fence_allowed.cpp",
+        None,
+        """\
+void consume(Machine& m, const std::byte* src, std::uint64_t n) {
+  auto stage = m.alloc_array<std::byte>(Space::Near, n);
+  m.dma_copy(0, stage.data(), src, n);
+  // tlm-lint: allow(dma-fence-discipline): fixture exercising the escape
+  process(stage.data(), n);
 }
 """,
     ),
