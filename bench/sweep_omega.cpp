@@ -1,0 +1,147 @@
+// S7 — asymmetric read/write cost sweep (ω): stock NMsort vs the
+// write-efficient variant as far writes grow more expensive than reads
+// (Blelloch et al.'s asymmetric external-memory models, anticipating
+// NVM-style far memory; ω = 1 is the paper's symmetric node).
+//
+// Stock NMsort moves ~2N blocks in and ~2N blocks out of far memory; the
+// write-efficient variant re-reads the input once per near-sized sweep to
+// build each output range in a single far write pass, trading (c-1)·N extra
+// far *reads* for N fewer far *writes*. The analytic crossover is ω = c-1
+// (memmodel::crossover_omega); this bench demonstrates it on the counting
+// machine and gates the direction:
+//
+//   ω = 1   stock wins or ties (extra reads cost as much as the saved
+//           writes, and the fast path can at best tie),
+//   ω = 16  the write-efficient variant's far time is strictly lower,
+//   always  it issues strictly fewer far write bytes, bit-identical output.
+//
+// Absolute times are reported (and land in the --json report for the
+// baseline diff) but only the crossover *direction* is a hard gate here —
+// machine-to-machine constants move, the shape must not.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/experiment.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "memmodel/bounds.hpp"
+
+namespace tlm {
+namespace {
+
+using analysis::Algorithm;
+
+int run(const bench::Flags& flags) {
+  const bench::WallClock wall;
+  const std::uint64_t n = flags.u64("--n", flags.has("--quick") ? 120'000
+                                                                : 1ULL << 20);
+  // Default geometry sits in the few-sweeps regime the variant targets
+  // (c ~ 7): push the sweep count into the dozens (say 1 MiB near at the
+  // default n) and pivot-sampling error starts to overflow buckets, whose
+  // far-temp recursion burns the very writes the variant exists to save.
+  const std::uint64_t near_cap =
+      flags.u64("--near-mb", flags.has("--quick") ? 1 : 4) * MiB;
+  const std::size_t cores = static_cast<std::size_t>(flags.u64("--cores", 8));
+  const std::uint64_t seed = flags.u64("--seed", 20150525);
+  const double rho = flags.f64("--rho", 4.0);
+
+  bench::banner("sweep_omega",
+                "asymmetric ω extension: write-efficient NMsort crossover "
+                "(§II cost model + Blelloch-style asymmetric far writes)");
+  std::cout << "cores=" << cores << " n=" << n << " near=" << near_cap / MiB
+            << "MiB rho=" << rho << "\n";
+
+  obs::RunReport report("sweep_omega");
+  report.params["cores"] = static_cast<std::uint64_t>(cores);
+  report.params["n"] = n;
+  report.params["near_capacity"] = near_cap;
+  report.params["seed"] = seed;
+
+  // Analytic prediction from the bounds layer, for the log and the report.
+  {
+    TwoLevelConfig probe = analysis::scaled_counting_config(rho, cores,
+                                                            near_cap);
+    const model::ScratchpadModel sm =
+        probe.to_model(sizeof(std::uint64_t), probe.cache_bytes);
+    const double sweeps = model::write_efficient_sweeps(
+        sm, static_cast<double>(n));
+    const double cross = model::crossover_omega(sm, static_cast<double>(n));
+    std::cout << "model: c=" << sweeps << " sweeps, predicted crossover w="
+              << cross << "\n";
+    report.params["model_sweeps"] = Table::num(sweeps, 1);
+    report.params["model_crossover_omega"] = Table::num(cross, 1);
+  }
+
+  Table t("far-memory time vs write-cost multiplier w");
+  t.header({"omega", "variant", "far wr bytes", "far rd bytes", "far time (s)",
+            "model time (s)"});
+
+  bool all_verified = true;
+  bool fewer_far_writes = true;
+  bool we_wins_at_16 = false;
+  bool stock_holds_at_1 = false;
+
+  for (double omega : {1.0, 4.0, 16.0}) {
+    TwoLevelConfig cfg = analysis::scaled_counting_config(rho, cores,
+                                                          near_cap);
+    cfg.far_write_cost = omega;
+    const analysis::SortRun stock =
+        analysis::run_sort_counting(cfg, Algorithm::NMsort, n, seed);
+    const analysis::SortRun we =
+        analysis::run_sort_counting(cfg, Algorithm::NMsortWriteEff, n, seed);
+    all_verified &= stock.verified && we.verified;
+
+    const auto& st = stock.counting.total;
+    const auto& wt = we.counting.total;
+    // far_s folds every far access — core-driven and DMA-posted — through
+    // the w-weighted bandwidth + burst-latency model, so it is the complete
+    // far-memory cost the crossover argument is about. Total modeled time
+    // additionally includes near + compute, which the tiny bench sizes let
+    // dominate; it is reported, not gated.
+    fewer_far_writes &=
+        wt.far_write_bytes < st.far_write_bytes &&
+        wt.far_write_blocks < st.far_write_blocks;
+    if (omega == 16.0) we_wins_at_16 = wt.far_s < st.far_s;
+    if (omega == 1.0) stock_holds_at_1 = wt.far_s >= st.far_s;
+
+    for (const auto* r : {&stock, &we}) {
+      const bool is_we = r == &we;
+      t.row({Table::num(omega, 0), is_we ? "NMsort-WE" : "NMsort",
+             Table::count(r->counting.total.far_write_bytes),
+             Table::count(r->counting.total.far_read_bytes),
+             Table::num(r->counting.total.far_s, 6),
+             Table::num(r->modeled_seconds, 6)});
+      obs::RunRecord& rec = report.add_run(
+          std::string(is_we ? "NMsort-WE" : "NMsort") + " w=" +
+          Table::num(omega, 0));
+      rec.set_config(cfg);
+      rec.set_counting(r->counting, cfg.block_bytes);
+      rec.wall_seconds = r->host_seconds;
+      rec.gauges["verified"] = r->verified ? 1.0 : 0.0;
+      rec.gauges["far_seconds"] = r->counting.total.far_s;
+    }
+  }
+  std::cout << t;
+
+  std::cout << "shape: all outputs verified sorted: "
+            << (all_verified ? "yes" : "NO") << "\n";
+  std::cout << "shape: write-efficient issues strictly fewer far writes: "
+            << (fewer_far_writes ? "yes" : "NO") << "\n";
+  std::cout << "shape: write-efficient far time wins at w=16: "
+            << (we_wins_at_16 ? "yes" : "NO") << "\n";
+  std::cout << "shape: stock NMsort holds (wins or ties) at w=1: "
+            << (stock_holds_at_1 ? "yes" : "NO") << "\n";
+
+  bench::write_report_if_requested(flags, report, wall);
+  return (all_verified && fewer_far_writes && we_wins_at_16 &&
+          stock_holds_at_1)
+             ? 0
+             : 1;
+}
+
+}  // namespace
+}  // namespace tlm
+
+int main(int argc, char** argv) {
+  return tlm::run(tlm::bench::Flags(argc, argv));
+}

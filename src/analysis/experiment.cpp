@@ -24,6 +24,8 @@ const char* to_string(Algorithm a) {
       return "scratchpad sort (seq, quicksort)";
     case Algorithm::ScratchpadPar:
       return "parallel scratchpad sort (§IV-C)";
+    case Algorithm::NMsortWriteEff:
+      return "NMsort (write-efficient)";
   }
   return "?";
 }
@@ -73,6 +75,15 @@ SortRun run_with_sink(const TwoLevelConfig& cfg, Algorithm a, std::uint64_t n,
       opt.seed = seed ^ 0x2545f4914f6cdd1dULL;
       sort::parallel_scratchpad_sort(m, std::span<std::uint64_t>(keys), opt);
       verified = keys == expect;
+      break;
+    }
+    case Algorithm::NMsortWriteEff: {
+      std::vector<std::uint64_t> out(keys.size());
+      sort::WESortOptions opt;
+      opt.seed = seed ^ 0x9e3779b97f4a7c15ULL;
+      sort::we_sort_into(m, std::span<const std::uint64_t>(keys),
+                         std::span<std::uint64_t>(out), opt);
+      verified = out == expect;
       break;
     }
   }

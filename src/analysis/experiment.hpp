@@ -30,6 +30,7 @@ enum class Algorithm {
   ScratchpadSeq,       // §III sequential recursive sort, mergesort inner
   ScratchpadSeqQuick,  // §III with quicksort inner (Corollary 7 / A1)
   ScratchpadPar,       // §IV-C theoretical parallel sort (Theorem 10)
+  NMsortWriteEff,      // write-efficient NMsort (asymmetric ω variant)
 };
 
 const char* to_string(Algorithm a);

@@ -147,4 +147,30 @@ double predicted_speedup(const ScratchpadModel& m, double n) {
   return base / ours;
 }
 
+double asymmetric_multipass_cost(const ScratchpadModel& m, double n,
+                                 double rounds) {
+  m.validate();
+  require_instance(n, static_cast<double>(m.block_b));
+  TLM_REQUIRE(rounds >= 1, "need at least one pass");
+  const double b = static_cast<double>(m.block_b);
+  return rounds * (n / b) * (1.0 + m.write_cost);
+}
+
+double write_efficient_sweeps(const ScratchpadModel& m, double n) {
+  m.validate();
+  require_instance(n, static_cast<double>(m.block_b));
+  const double cap = static_cast<double>(m.scratch_m) / 2.0;
+  return std::max(1.0, std::ceil(n / cap));
+}
+
+double write_efficient_sort_cost(const ScratchpadModel& m, double n) {
+  const double c = write_efficient_sweeps(m, n);
+  const double b = static_cast<double>(m.block_b);
+  return (n / b) * (1.0 + c) + m.write_cost * (n / b);
+}
+
+double crossover_omega(const ScratchpadModel& m, double n) {
+  return std::max(1.0, write_efficient_sweeps(m, n) - 1.0);
+}
+
 }  // namespace tlm::model

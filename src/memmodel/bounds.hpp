@@ -73,4 +73,34 @@ SortBound parallel_scratchpad_sort_bound(const ScratchpadModel& m, double n);
 // approaches ρ for favourable parameters.
 double predicted_speedup(const ScratchpadModel& m, double n);
 
+// ---- asymmetric read/write extension (ω = ScratchpadModel::write_cost) ----
+// Blelloch et al.'s asymmetric cost model: one DRAM block write costs ω
+// units where a read costs 1. Scratchpad traffic stays symmetric. These
+// bounds weigh far traffic accordingly; they collapse to the symmetric
+// counts at ω = 1.
+
+// ω-weighted DRAM cost of a sort that streams the instance through far
+// memory `rounds` times, each round reading N and writing N elements:
+// rounds · (N/B) · (1 + ω). Stock NMsort is the rounds = 2 instance
+// (form runs, then merge).
+double asymmetric_multipass_cost(const ScratchpadModel& m, double n,
+                                 double rounds);
+
+// Number of far sweeps c the write-efficient distribution sort needs to
+// gather every bucket group through a near buffer of M/2 elements:
+// c = ⌈N / (M/2)⌉ (floor 1).
+double write_efficient_sweeps(const ScratchpadModel& m, double n);
+
+// ω-weighted DRAM cost of the write-efficient sort: one histogram read pass
+// plus c gather read sweeps over the input ((1 + c)·N/B reads — the group
+// sort and merge touch near-resident data only) and exactly one ω-weighted
+// far write placement pass (ω·N/B).
+double write_efficient_sort_cost(const ScratchpadModel& m, double n);
+
+// The ω at which the write-efficient plan matches stock NMsort's two-round
+// plan: 2(1+ω) = (1+c) + ω  ⟺  ω = c − 1 (floor 1 — below ω=1 the model is
+// symmetric and stock always wins). Below it stock wins, above it the
+// write-efficient plan wins.
+double crossover_omega(const ScratchpadModel& m, double n);
+
 }  // namespace tlm::model

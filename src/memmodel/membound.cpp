@@ -13,6 +13,8 @@ void require(const NodeThroughput& t) {
   TLM_REQUIRE(t.compare_rate > 0, "compute rate must be positive");
   TLM_REQUIRE(t.memory_rate > 0, "memory rate must be positive");
   TLM_REQUIRE(t.cache_blocks >= 2, "cache must hold at least two blocks");
+  TLM_REQUIRE(t.write_cost >= 1.0,
+              "omega models writes at least as expensive as reads");
 }
 
 }  // namespace
@@ -23,7 +25,8 @@ bool memory_bound(const NodeThroughput& t) {
 
 double boundedness_ratio(const NodeThroughput& t) {
   require(t);
-  return t.compare_rate / (t.memory_rate * std::log2(t.cache_blocks));
+  return t.compare_rate /
+         (t.effective_memory_rate() * std::log2(t.cache_blocks));
 }
 
 std::uint64_t min_cores_for_memory_bound(double per_core_rate,
@@ -42,8 +45,9 @@ TimeEstimate sort_time_estimate(const NodeThroughput& t, double n) {
   TimeEstimate e;
   e.compute_s = work / t.compare_rate;
   // Minimum aggregate transfer volume is N·logN / log m elements [Thm 1];
-  // with m proportional to Z this is the paper's N·logN / (y·log Z).
-  e.memory_s = work / (t.memory_rate * std::log2(t.cache_blocks));
+  // with m proportional to Z this is the paper's N·logN / (y·log Z). Under
+  // asymmetric ω the bandwidth y degrades to the blended read/write rate.
+  e.memory_s = work / (t.effective_memory_rate() * std::log2(t.cache_blocks));
   e.memory_bound = e.memory_s > e.compute_s;
   e.predicted_s = e.memory_bound ? e.memory_s : e.compute_s;
   return e;

@@ -16,6 +16,15 @@ struct NodeThroughput {
   double compare_rate = 0;   // x: aggregate comparisons per second
   double memory_rate = 0;    // y: DRAM<->cache bandwidth, elements per second
   double cache_blocks = 0;   // Z: on-chip capacity in blocks
+  // ω: far-memory write-cost multiplier. A sorted stream moves each element
+  // off-chip once in and once out, so with writes ω× slower the blended
+  // element rate drops to y·2/(1+ω); ω = 1 leaves y untouched (exactly —
+  // the factor is computed as 2/(1+1) = 1).
+  double write_cost = 1.0;
+
+  double effective_memory_rate() const {
+    return memory_rate * 2.0 / (1.0 + write_cost);
+  }
 };
 
 // True when the configuration is memory-bandwidth bound (compute outpaces

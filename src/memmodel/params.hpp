@@ -22,6 +22,11 @@ struct ScratchpadModel {
   double rho = 1.0;                // ρ: scratchpad bandwidth expansion, > 1
   std::uint64_t cores_p = 1;       // p: cores on the node
   std::uint64_t parallel_p = 1;    // p′: simultaneous block transfers
+  // ω: asymmetric write cost — one DRAM block *write* costs ω block-transfer
+  // units where a read costs 1 (Blelloch et al.'s asymmetric RAM/external
+  // models, anticipating NVM-style far memory). The scratchpad is symmetric.
+  // ω = 1 collapses every asymmetric bound back to the paper's.
+  double write_cost = 1.0;
 
   // ρB, the scratchpad block size, rounded to whole elements.
   std::uint64_t scratch_block() const {
@@ -39,6 +44,8 @@ struct ScratchpadModel {
     TLM_REQUIRE(tall_cache(), "tall-cache assumption M > B^2 violated");
     TLM_REQUIRE(cores_p >= 1 && parallel_p >= 1 && parallel_p <= cores_p,
                 "need 1 <= p' <= p");
+    TLM_REQUIRE(write_cost >= 1.0,
+                "omega models writes at least as expensive as reads");
   }
 
   // The sample-set size m = Θ(M/B) used by the sorting algorithms (§III-A).

@@ -62,6 +62,32 @@ bool is_fault_leaf(std::string_view path) {
   return leaf == "stall_s" || leaf == "stalls";
 }
 
+// Read/write split leaves (the ω model's directional counters). They
+// postdate many checked-in baselines, and — unlike the fault leaves — a
+// side that lacks them carries no information of its own: the combined
+// counters they split still compare leaf-for-leaf. So absence on either
+// side skips the leaf entirely rather than reading it as zero.
+// Deliberately an exact-name list, not a *_bytes suffix rule: the byte
+// splits (far_read_bytes & co.) predate ω, exist in every old baseline,
+// and must keep hard missing-key semantics.
+bool is_split_leaf(std::string_view path) {
+  const std::string_view leaf = last_segment(path);
+  static constexpr std::string_view kSplit[] = {
+      "far_read_blocks",      "far_write_blocks",
+      "near_read_blocks",     "near_write_blocks",
+      "far_read_bursts",      "far_write_bursts",
+      "near_read_bursts",     "near_write_bursts",
+      "dma_far_read_bytes",   "dma_far_write_bytes",
+      "dma_near_read_bytes",  "dma_near_write_bytes",
+      "dma_far_read_bursts",  "dma_far_write_bursts",
+      "dma_near_read_bursts", "dma_near_write_bursts",
+      "far_reads",            "far_writes",
+      "near_reads",           "near_writes"};
+  for (const std::string_view k : kSplit)
+    if (leaf == k) return true;
+  return false;
+}
+
 void flatten(const Json& j, const std::string& prefix,
              std::map<std::string, double>& out) {
   if (j.is_number()) {
@@ -102,6 +128,7 @@ DiffReport diff_reports(const Json& baseline, const Json& current,
   for (const auto& [path, bval] : base) {
     const LeafKind kind = classify(path);
     const auto it = cur.find(path);
+    if (it == cur.end() && is_split_leaf(path)) continue;
     if (it == cur.end() && !is_fault_leaf(path)) {
       if (kind == LeafKind::Cost) out.missing_in_current.push_back(path);
       continue;

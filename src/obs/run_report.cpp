@@ -5,6 +5,8 @@
 // tlm-lint: allow-file(counters-mutation): this is the JSON (de)serialization
 // boundary for PhaseStats — it reconstructs counters from reports, it does
 // not account traffic.
+// tlm-lint: allow-file(split-counters-mutation): same boundary; the split
+// twins round-trip from JSON here, they are not charged here.
 
 namespace tlm::obs {
 
@@ -25,6 +27,25 @@ Json phase_to_json(const PhaseStats& p, bool with_name) {
   j["dma_near_bytes"] = p.dma_near_bytes;
   j["dma_far_bursts"] = p.dma_far_bursts;
   j["dma_near_bursts"] = p.dma_near_bursts;
+  // Read/write split counters (ω model). Emitted unconditionally: report
+  // diffs never count keys *added* relative to a baseline, and the diff
+  // layer tolerates their absence in pre-split baselines (is_split_leaf).
+  j["far_read_blocks"] = p.far_read_blocks;
+  j["far_write_blocks"] = p.far_write_blocks;
+  j["near_read_blocks"] = p.near_read_blocks;
+  j["near_write_blocks"] = p.near_write_blocks;
+  j["far_read_bursts"] = p.far_read_bursts;
+  j["far_write_bursts"] = p.far_write_bursts;
+  j["near_read_bursts"] = p.near_read_bursts;
+  j["near_write_bursts"] = p.near_write_bursts;
+  j["dma_far_read_bytes"] = p.dma_far_read_bytes;
+  j["dma_far_write_bytes"] = p.dma_far_write_bytes;
+  j["dma_near_read_bytes"] = p.dma_near_read_bytes;
+  j["dma_near_write_bytes"] = p.dma_near_write_bytes;
+  j["dma_far_read_bursts"] = p.dma_far_read_bursts;
+  j["dma_far_write_bursts"] = p.dma_far_write_bursts;
+  j["dma_near_read_bursts"] = p.dma_near_read_bursts;
+  j["dma_near_write_bursts"] = p.dma_near_write_bursts;
   j["partition_splits"] = p.partition_splits;
   j["partition_imbalance_max"] = p.partition_imbalance_max;
   j["compute_ops_total"] = p.compute_ops_total;
@@ -57,6 +78,22 @@ PhaseStats phase_from_json(const Json& j) {
   p.dma_near_bytes = j.get_u64("dma_near_bytes", 0);
   p.dma_far_bursts = j.get_u64("dma_far_bursts", 0);
   p.dma_near_bursts = j.get_u64("dma_near_bursts", 0);
+  p.far_read_blocks = j.get_u64("far_read_blocks", 0);
+  p.far_write_blocks = j.get_u64("far_write_blocks", 0);
+  p.near_read_blocks = j.get_u64("near_read_blocks", 0);
+  p.near_write_blocks = j.get_u64("near_write_blocks", 0);
+  p.far_read_bursts = j.get_u64("far_read_bursts", 0);
+  p.far_write_bursts = j.get_u64("far_write_bursts", 0);
+  p.near_read_bursts = j.get_u64("near_read_bursts", 0);
+  p.near_write_bursts = j.get_u64("near_write_bursts", 0);
+  p.dma_far_read_bytes = j.get_u64("dma_far_read_bytes", 0);
+  p.dma_far_write_bytes = j.get_u64("dma_far_write_bytes", 0);
+  p.dma_near_read_bytes = j.get_u64("dma_near_read_bytes", 0);
+  p.dma_near_write_bytes = j.get_u64("dma_near_write_bytes", 0);
+  p.dma_far_read_bursts = j.get_u64("dma_far_read_bursts", 0);
+  p.dma_far_write_bursts = j.get_u64("dma_far_write_bursts", 0);
+  p.dma_near_read_bursts = j.get_u64("dma_near_read_bursts", 0);
+  p.dma_near_write_bursts = j.get_u64("dma_near_write_bursts", 0);
   p.partition_splits = j.get_u64("partition_splits", 0);
   p.partition_imbalance_max = j.get_f64("partition_imbalance_max", 0);
   p.compute_ops_total = j.get_f64("compute_ops_total", 0);
@@ -83,6 +120,9 @@ Json config_to_json(const TwoLevelConfig& c) {
   j["core_rate"] = c.core_rate;
   j["threads"] = static_cast<std::uint64_t>(c.threads);
   j["overlap_dma"] = c.overlap_dma;
+  // ω: emitted only when the asymmetric model is active, so symmetric-run
+  // reports stay byte-identical to pre-ω baselines (the stall_s pattern).
+  if (c.far_write_cost != 1.0) j["far_write_cost"] = c.far_write_cost;
   return j;
 }
 
@@ -99,6 +139,7 @@ TwoLevelConfig config_from_json(const Json& j) {
   c.threads = static_cast<std::size_t>(
       j.get_u64("threads", static_cast<std::uint64_t>(c.threads)));
   c.overlap_dma = j.contains("overlap_dma") && j.at("overlap_dma").boolean();
+  c.far_write_cost = j.get_f64("far_write_cost", c.far_write_cost);
   return c;
 }
 
@@ -480,6 +521,21 @@ void export_stats(const MachineStats& st, std::uint64_t line_bytes,
   reg.counter("machine.near_bursts").add(t.near_bursts);
   reg.counter("machine.far_accesses").add(st.far_accesses(line_bytes));
   reg.counter("machine.near_accesses").add(st.near_accesses(line_bytes));
+  // Directional access counts and the split block/burst counters — what the
+  // ω model weighs. Old baselines predate them; obs::diff tolerates their
+  // absence (is_split_leaf) the way it does for faults.*.
+  reg.counter("machine.far_reads").add(st.far_reads(line_bytes));
+  reg.counter("machine.far_writes").add(st.far_writes(line_bytes));
+  reg.counter("machine.near_reads").add(st.near_reads(line_bytes));
+  reg.counter("machine.near_writes").add(st.near_writes(line_bytes));
+  reg.counter("machine.far_read_blocks").add(t.far_read_blocks);
+  reg.counter("machine.far_write_blocks").add(t.far_write_blocks);
+  reg.counter("machine.near_read_blocks").add(t.near_read_blocks);
+  reg.counter("machine.near_write_blocks").add(t.near_write_blocks);
+  reg.counter("machine.far_read_bursts").add(t.far_read_bursts);
+  reg.counter("machine.far_write_bursts").add(t.far_write_bursts);
+  reg.counter("machine.near_read_bursts").add(t.near_read_bursts);
+  reg.counter("machine.near_write_bursts").add(t.near_write_bursts);
   reg.counter("machine.dma_far_bytes").add(t.dma_far_bytes);
   reg.counter("machine.dma_near_bytes").add(t.dma_near_bytes);
   reg.counter("machine.dma_bursts")

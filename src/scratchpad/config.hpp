@@ -23,6 +23,15 @@ struct TwoLevelConfig {
   double core_rate = 1.0e9;       // ops/s each core can retire
   std::size_t threads = 4;        // p (= p′ in our runs)
 
+  // ω — write-cost multiplier for far memory (Blelloch et al., "Sorting with
+  // Asymmetric Read and Write Costs"): a far write costs ω× a far read of
+  // the same size, in both bandwidth and per-burst latency. The scratchpad
+  // stays symmetric (SRAM-like near memory has no write asymmetry). ω=1
+  // reproduces the paper's symmetric model bit-for-bit — the time fold takes
+  // the legacy integer-sum path in that case, so enabling the field cannot
+  // perturb existing baselines.
+  double far_write_cost = 1.0;
+
   // When true, phase time is max(compute, far traffic, near traffic) —
   // the DMA-overlap model of §VI-B/§VII; when false the three serialize,
   // matching the paper's prototype which "simply waits for the transfer".
@@ -57,6 +66,9 @@ struct TwoLevelConfig {
                 "degenerate memory geometry");
     TLM_REQUIRE(rho >= 1.0, "rho is a bandwidth expansion factor");
     TLM_REQUIRE(far_bw > 0 && core_rate > 0, "rates must be positive");
+    TLM_REQUIRE(far_write_cost >= 1.0,
+                "far_write_cost (omega) models writes at least as expensive "
+                "as reads");
     TLM_REQUIRE(threads >= 1, "need at least one core");
     TLM_REQUIRE(dma_retry_budget >= 1, "need at least one DMA attempt");
     TLM_REQUIRE(dma_retry_base_s >= 0 && dma_retry_max_backoff_s >= 0,
@@ -74,6 +86,7 @@ struct TwoLevelConfig {
     m.rho = rho;
     m.cores_p = threads;
     m.parallel_p = threads;
+    m.write_cost = far_write_cost;
     return m;
   }
 };

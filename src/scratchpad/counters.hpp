@@ -41,6 +41,30 @@ struct PhaseStats {
   std::uint64_t dma_far_bursts = 0;
   std::uint64_t dma_near_bursts = 0;
 
+  // Read/write split of the block, burst, and DMA counters above, for the
+  // asymmetric-ω cost model (bytes were already split as *_read_bytes /
+  // *_write_bytes). The combined counters stay and are maintained
+  // independently at the charge sites, so conservation —
+  // split_read + split_write == combined, for every pair — is a falsifiable
+  // invariant checked by the test suite and the model sanitizer rather than
+  // true by construction.
+  std::uint64_t far_read_blocks = 0;
+  std::uint64_t far_write_blocks = 0;
+  std::uint64_t near_read_blocks = 0;
+  std::uint64_t near_write_blocks = 0;
+  std::uint64_t far_read_bursts = 0;
+  std::uint64_t far_write_bursts = 0;
+  std::uint64_t near_read_bursts = 0;
+  std::uint64_t near_write_bursts = 0;
+  std::uint64_t dma_far_read_bytes = 0;
+  std::uint64_t dma_far_write_bytes = 0;
+  std::uint64_t dma_near_read_bytes = 0;
+  std::uint64_t dma_near_write_bytes = 0;
+  std::uint64_t dma_far_read_bursts = 0;
+  std::uint64_t dma_far_write_bursts = 0;
+  std::uint64_t dma_near_read_bursts = 0;
+  std::uint64_t dma_near_write_bursts = 0;
+
   // Merge-partition balance: how many k-way partitions were computed in
   // this phase, and the worst observed (max slice / ideal slice) ratio —
   // 1.0 means every thread got an exactly even share of the merge.
@@ -84,6 +108,22 @@ struct PhaseStats {
     dma_near_bytes += o.dma_near_bytes;
     dma_far_bursts += o.dma_far_bursts;
     dma_near_bursts += o.dma_near_bursts;
+    far_read_blocks += o.far_read_blocks;
+    far_write_blocks += o.far_write_blocks;
+    near_read_blocks += o.near_read_blocks;
+    near_write_blocks += o.near_write_blocks;
+    far_read_bursts += o.far_read_bursts;
+    far_write_bursts += o.far_write_bursts;
+    near_read_bursts += o.near_read_bursts;
+    near_write_bursts += o.near_write_bursts;
+    dma_far_read_bytes += o.dma_far_read_bytes;
+    dma_far_write_bytes += o.dma_far_write_bytes;
+    dma_near_read_bytes += o.dma_near_read_bytes;
+    dma_near_write_bytes += o.dma_near_write_bytes;
+    dma_far_read_bursts += o.dma_far_read_bursts;
+    dma_far_write_bursts += o.dma_far_write_bursts;
+    dma_near_read_bursts += o.dma_near_read_bursts;
+    dma_near_write_bursts += o.dma_near_write_bursts;
     partition_splits += o.partition_splits;
     partition_imbalance_max =
         partition_imbalance_max > o.partition_imbalance_max
@@ -173,6 +213,22 @@ struct MachineStats {
   }
   std::uint64_t near_accesses(std::uint64_t line_bytes) const {
     return ceil_div(total.near_bytes(), line_bytes);
+  }
+
+  // Directional line-granularity accesses — what the ω model weighs. Each
+  // direction rounds up independently, so far_reads + far_writes may exceed
+  // far_accesses by at most one line; the byte totals conserve exactly.
+  std::uint64_t far_reads(std::uint64_t line_bytes) const {
+    return ceil_div(total.far_read_bytes, line_bytes);
+  }
+  std::uint64_t far_writes(std::uint64_t line_bytes) const {
+    return ceil_div(total.far_write_bytes, line_bytes);
+  }
+  std::uint64_t near_reads(std::uint64_t line_bytes) const {
+    return ceil_div(total.near_read_bytes, line_bytes);
+  }
+  std::uint64_t near_writes(std::uint64_t line_bytes) const {
+    return ceil_div(total.near_write_bytes, line_bytes);
   }
 };
 

@@ -167,7 +167,7 @@ void Machine::charge_read(std::size_t thread, const void* p,
                           const std::source_location& loc, bool via_dma) {
   TLM_CHECK(thread < acc_.size(), "thread id out of range");
 #if TLM_MODEL_CHECKS_ENABLED
-  check_charge(p, bytes, loc);
+  check_charge(p, bytes, /*is_write=*/false, loc);
 #else
   (void)loc;
 #endif
@@ -176,17 +176,25 @@ void Machine::charge_read(std::size_t thread, const void* p,
     a.near_read += bytes;
     a.near_blocks += ceil_div(bytes, cfg_.near_block_bytes());
     a.near_bursts += 1;
+    a.near_read_blocks += ceil_div(bytes, cfg_.near_block_bytes());
+    a.near_read_bursts += 1;
     if (via_dma) {
       a.dma_near += bytes;
       a.dma_near_bursts += 1;
+      a.dma_near_read += bytes;
+      a.dma_near_read_bursts += 1;
     }
   } else {
     a.far_read += bytes;
     a.far_blocks += ceil_div(bytes, cfg_.block_bytes);
     a.far_bursts += 1;
+    a.far_read_blocks += ceil_div(bytes, cfg_.block_bytes);
+    a.far_read_bursts += 1;
     if (via_dma) {
       a.dma_far += bytes;
       a.dma_far_bursts += 1;
+      a.dma_far_read += bytes;
+      a.dma_far_read_bursts += 1;
     }
     if (fi_) consult_far_stall(thread);
   }
@@ -197,7 +205,7 @@ void Machine::charge_write(std::size_t thread, void* p, std::uint64_t bytes,
                            const std::source_location& loc, bool via_dma) {
   TLM_CHECK(thread < acc_.size(), "thread id out of range");
 #if TLM_MODEL_CHECKS_ENABLED
-  check_charge(p, bytes, loc);
+  check_charge(p, bytes, /*is_write=*/true, loc);
 #else
   (void)loc;
 #endif
@@ -206,17 +214,25 @@ void Machine::charge_write(std::size_t thread, void* p, std::uint64_t bytes,
     a.near_write += bytes;
     a.near_blocks += ceil_div(bytes, cfg_.near_block_bytes());
     a.near_bursts += 1;
+    a.near_write_blocks += ceil_div(bytes, cfg_.near_block_bytes());
+    a.near_write_bursts += 1;
     if (via_dma) {
       a.dma_near += bytes;
       a.dma_near_bursts += 1;
+      a.dma_near_write += bytes;
+      a.dma_near_write_bursts += 1;
     }
   } else {
     a.far_write += bytes;
     a.far_blocks += ceil_div(bytes, cfg_.block_bytes);
     a.far_bursts += 1;
+    a.far_write_blocks += ceil_div(bytes, cfg_.block_bytes);
+    a.far_write_bursts += 1;
     if (via_dma) {
       a.dma_far += bytes;
       a.dma_far_bursts += 1;
+      a.dma_far_write += bytes;
+      a.dma_far_write_bursts += 1;
     }
     if (fi_) consult_far_stall(thread);
   }
@@ -430,8 +446,19 @@ void Machine::check_capacity(std::uint64_t bytes,
       loc);
 }
 
-void Machine::check_charge(const void* p, std::uint64_t bytes,
+void Machine::check_charge(const void* p, std::uint64_t bytes, bool is_write,
                            const std::source_location& loc) const {
+  // Directional shadow bookkeeping for rw-conservation: every charge is
+  // recorded here, before (and independently of) the ThreadAcc bumps, so a
+  // charge site that mutates the legacy counters without the split twins
+  // diverges from the shadow by phase end.
+  if (arena_.contains(p)) {
+    (is_write ? shadow_near_write_bytes_ : shadow_near_read_bytes_)
+        .fetch_add(bytes, std::memory_order_relaxed);
+  } else {
+    (is_write ? shadow_far_write_bytes_ : shadow_far_read_bytes_)
+        .fetch_add(bytes, std::memory_order_relaxed);
+  }
   // Line-rounded probes (galloping merge lookahead, sweep reads) may run a
   // ragged tail past the end of a region; the model charges whole blocks
   // for those anyway, so tolerate up to one far line of overshoot.
@@ -517,7 +544,74 @@ void Machine::check_dma_granularity(const void* dst, const void* src,
       loc);
 }
 
+// Conservation of the read/write split at phase end: for every combined
+// counter the split pair must sum back to it, and the byte totals must match
+// the directional shadow recorded at the charge entry points. Runs for
+// implicit phases too — the invariant has no phase-structure exemption.
+void Machine::check_rw_conservation() const {
+  PhaseStats f;
+  fold_open_phase(f);
+  const auto bad = [&](const char* what, std::uint64_t split_sum,
+                       std::uint64_t combined) {
+    model_check_fail(model_rule::kRwConservation, open_phase_name(),
+                     std::string(what) + ": charged reads + writes = " +
+                         std::to_string(split_sum) +
+                         " but the combined counter holds " +
+                         std::to_string(combined) +
+                         " — a charge site bypassed the split bookkeeping",
+                     std::source_location::current());
+  };
+  if (f.far_read_blocks + f.far_write_blocks != f.far_blocks)
+    bad("far_blocks", f.far_read_blocks + f.far_write_blocks, f.far_blocks);
+  if (f.near_read_blocks + f.near_write_blocks != f.near_blocks)
+    bad("near_blocks", f.near_read_blocks + f.near_write_blocks,
+        f.near_blocks);
+  if (f.far_read_bursts + f.far_write_bursts != f.far_bursts)
+    bad("far_bursts", f.far_read_bursts + f.far_write_bursts, f.far_bursts);
+  if (f.near_read_bursts + f.near_write_bursts != f.near_bursts)
+    bad("near_bursts", f.near_read_bursts + f.near_write_bursts,
+        f.near_bursts);
+  if (f.dma_far_read_bytes + f.dma_far_write_bytes != f.dma_far_bytes)
+    bad("dma_far_bytes", f.dma_far_read_bytes + f.dma_far_write_bytes,
+        f.dma_far_bytes);
+  if (f.dma_near_read_bytes + f.dma_near_write_bytes != f.dma_near_bytes)
+    bad("dma_near_bytes", f.dma_near_read_bytes + f.dma_near_write_bytes,
+        f.dma_near_bytes);
+  if (f.dma_far_read_bursts + f.dma_far_write_bursts != f.dma_far_bursts)
+    bad("dma_far_bursts", f.dma_far_read_bursts + f.dma_far_write_bursts,
+        f.dma_far_bursts);
+  if (f.dma_near_read_bursts + f.dma_near_write_bursts != f.dma_near_bursts)
+    bad("dma_near_bursts", f.dma_near_read_bursts + f.dma_near_write_bursts,
+        f.dma_near_bursts);
+  const auto shadow_bad = [&](const char* what, std::uint64_t shadow,
+                              std::uint64_t counter) {
+    model_check_fail(
+        model_rule::kRwConservation, open_phase_name(),
+        std::string(what) + ": the charge entry points saw " +
+            std::to_string(shadow) + " bytes but the counter holds " +
+            std::to_string(counter) + " — a counter was mutated directly",
+        std::source_location::current());
+  };
+  const std::uint64_t sfr =
+      shadow_far_read_bytes_.load(std::memory_order_relaxed);
+  const std::uint64_t sfw =
+      shadow_far_write_bytes_.load(std::memory_order_relaxed);
+  const std::uint64_t snr =
+      shadow_near_read_bytes_.load(std::memory_order_relaxed);
+  const std::uint64_t snw =
+      shadow_near_write_bytes_.load(std::memory_order_relaxed);
+  if (sfr != f.far_read_bytes)
+    shadow_bad("far_read_bytes", sfr, f.far_read_bytes);
+  if (sfw != f.far_write_bytes)
+    shadow_bad("far_write_bytes", sfw, f.far_write_bytes);
+  if (snr != f.near_read_bytes)
+    shadow_bad("near_read_bytes", snr, f.near_read_bytes);
+  if (snw != f.near_write_bytes)
+    shadow_bad("near_write_bytes", snw, f.near_write_bytes);
+}
+
 void Machine::check_phase_end() const {
+  check_rw_conservation();
   MutexLock lock(alloc_mu_);
   if (!phase_is_explicit_) return;  // implicit "(run)" phases are exempt
   for (const auto& [off, a] : shadow_near_) {
@@ -556,6 +650,22 @@ void Machine::fold_open_phase(PhaseStats& out) const {
     out.dma_near_bytes += a.dma_near;
     out.dma_far_bursts += a.dma_far_bursts;
     out.dma_near_bursts += a.dma_near_bursts;
+    out.far_read_blocks += a.far_read_blocks;
+    out.far_write_blocks += a.far_write_blocks;
+    out.near_read_blocks += a.near_read_blocks;
+    out.near_write_blocks += a.near_write_blocks;
+    out.far_read_bursts += a.far_read_bursts;
+    out.far_write_bursts += a.far_write_bursts;
+    out.near_read_bursts += a.near_read_bursts;
+    out.near_write_bursts += a.near_write_bursts;
+    out.dma_far_read_bytes += a.dma_far_read;
+    out.dma_far_write_bytes += a.dma_far_write;
+    out.dma_near_read_bytes += a.dma_near_read;
+    out.dma_near_write_bytes += a.dma_near_write;
+    out.dma_far_read_bursts += a.dma_far_read_bursts;
+    out.dma_far_write_bursts += a.dma_far_write_bursts;
+    out.dma_near_read_bursts += a.dma_near_read_bursts;
+    out.dma_near_write_bursts += a.dma_near_write_bursts;
     out.partition_splits += a.partition_splits;
     out.partition_imbalance_max =
         std::max(out.partition_imbalance_max, a.partition_imbalance);
@@ -565,8 +675,26 @@ void Machine::fold_open_phase(PhaseStats& out) const {
   }
   // Per-burst access latencies amortize across the p cores issuing them.
   const double p = static_cast<double>(cfg_.threads);
-  out.far_s = static_cast<double>(out.far_bytes()) / cfg_.far_bw +
-              static_cast<double>(out.far_bursts) * cfg_.far_latency / p;
+  const double omega = cfg_.far_write_cost;
+  if (omega == 1.0) {
+    // Symmetric model: keep the exact legacy arithmetic (uint64 sum of both
+    // directions, one cast) so ω=1 reproduces pre-split baselines bit for
+    // bit — the weighted path below sums two separately-cast doubles, which
+    // can round differently in the last bit.
+    out.far_s = static_cast<double>(out.far_bytes()) / cfg_.far_bw +
+                static_cast<double>(out.far_bursts) * cfg_.far_latency / p;
+  } else {
+    // Asymmetric ω model (Blelloch et al.): a far write costs ω× a far read
+    // in both bandwidth occupancy and per-burst latency. Near memory stays
+    // symmetric.
+    out.far_s =
+        (static_cast<double>(out.far_read_bytes) +
+         omega * static_cast<double>(out.far_write_bytes)) /
+            cfg_.far_bw +
+        (static_cast<double>(out.far_read_bursts) +
+         omega * static_cast<double>(out.far_write_bursts)) *
+            cfg_.far_latency / p;
+  }
   out.near_s = static_cast<double>(out.near_bytes()) / cfg_.near_bw() +
                static_cast<double>(out.near_bursts) * cfg_.near_latency / p;
   out.compute_s = out.compute_ops_max / cfg_.core_rate;
@@ -575,10 +703,20 @@ void Machine::fold_open_phase(PhaseStats& out) const {
   // writes, so its busy time is the slower of its two sides; the cores'
   // serial time covers everything they still drive themselves. Without
   // overlap_dma the engine waits like the paper's prototype ("simply waits
-  // for the transfer to complete") and everything serializes.
+  // for the transfer to complete") and everything serializes. The far side
+  // of the engine is ω-weighted with the same read/write asymmetry as the
+  // core-driven far traffic, so the overlap subtraction below stays
+  // consistent at any ω.
   const double dma_far_s =
-      static_cast<double>(out.dma_far_bytes) / cfg_.far_bw +
-      static_cast<double>(out.dma_far_bursts) * cfg_.far_latency / p;
+      omega == 1.0
+          ? static_cast<double>(out.dma_far_bytes) / cfg_.far_bw +
+                static_cast<double>(out.dma_far_bursts) * cfg_.far_latency / p
+          : (static_cast<double>(out.dma_far_read_bytes) +
+             omega * static_cast<double>(out.dma_far_write_bytes)) /
+                    cfg_.far_bw +
+                (static_cast<double>(out.dma_far_read_bursts) +
+                 omega * static_cast<double>(out.dma_far_write_bursts)) *
+                    cfg_.far_latency / p;
   const double dma_near_s =
       static_cast<double>(out.dma_near_bytes) / cfg_.near_bw() +
       static_cast<double>(out.dma_near_bursts) * cfg_.near_latency / p;
@@ -597,6 +735,12 @@ void Machine::fold_open_phase(PhaseStats& out) const {
 
 void Machine::reset_accumulators() {
   std::fill(acc_.begin(), acc_.end(), ThreadAcc{});
+#if TLM_MODEL_CHECKS_ENABLED
+  shadow_far_read_bytes_.store(0, std::memory_order_relaxed);
+  shadow_far_write_bytes_.store(0, std::memory_order_relaxed);
+  shadow_near_read_bytes_.store(0, std::memory_order_relaxed);
+  shadow_near_write_bytes_.store(0, std::memory_order_relaxed);
+#endif
 }
 
 MachineStats Machine::stats() const {

@@ -10,3 +10,4 @@
 #include "sort/runs.hpp"            // run descriptors & splitters
 #include "sort/sample.hpp"          // pivot sampling (§III-A)
 #include "sort/scratchpad_sort.hpp" // sequential scratchpad sort (§III)
+#include "sort/write_efficient.hpp" // write-efficient NMsort (asymmetric ω)

@@ -180,6 +180,10 @@ def main():
         "bench/baselines/trace_overhead_quick.json",
         "racecheck_overhead",
         "bench/baselines/racecheck_quick.json",
+        "sweep_omega",
+        "bench/baselines/sweep_omega_quick.json",
+        "--max-changed=0",
+        "bench/baselines/table1_quick.json",
         "--warn-only",
         "actions/upload-artifact",
     ):

@@ -1,0 +1,48 @@
+# The ω=1 strict no-op gate, run as a ctest via `cmake -P` (see
+# bench/CMakeLists.txt for the registration). The asymmetric write-cost
+# extension must be invisible at its default ω = 1: table1_sst_sort at the
+# checked-in baseline's exact parameters has to reproduce every cost leaf
+# of bench/baselines/table1_quick.json — a capture from before the split
+# counters existed — under report_diff --max-changed=0. The split leaves
+# only present on the new side are reported informationally and excluded
+# from the changed count (they have no pre-split twin to drift from); any
+# drift in a shared leaf fails hard.
+# Expects -DTABLE1=<bin> -DREPORT_DIFF=<bin> -DBASELINE=<json> -DWORK_DIR=<dir>.
+cmake_minimum_required(VERSION 3.16)
+
+foreach(var TABLE1 REPORT_DIFF BASELINE WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "omega_noop_gate: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${TABLE1}" --quick --cores=2 --n=20000 --near-mb=1
+          --json "${WORK_DIR}/current.json"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "omega_noop_gate: table1_sst_sort failed (exit ${rc})\n"
+    "stdout:\n${out}\nstderr:\n${err}")
+endif()
+
+execute_process(
+  COMMAND "${REPORT_DIFF}" --max-changed=0 "${BASELINE}"
+          "${WORK_DIR}/current.json"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "omega_noop_gate: ω=1 is not a no-op — a pre-split cost leaf changed "
+    "against ${BASELINE} (exit ${rc})\n"
+    "stdout:\n${out}\nstderr:\n${err}")
+endif()
+
+message(STATUS "omega_noop_gate: ω=1 reproduces the pre-split baseline")

@@ -40,7 +40,8 @@ TwoLevelConfig chaos_config() {
 }
 
 constexpr Algorithm kChaosAlgos[] = {
-    Algorithm::NMsort, Algorithm::ScratchpadSeq, Algorithm::ScratchpadPar};
+    Algorithm::NMsort, Algorithm::ScratchpadSeq, Algorithm::ScratchpadPar,
+    Algorithm::NMsortWriteEff};
 
 // A mixed schedule: transient near denials, occasional DMA failures (far
 // below the retry budget), and small stalls on both transfer paths.
@@ -167,6 +168,60 @@ TEST(ChaosCounters, RoundTripThroughRunReportSchema) {
   EXPECT_NEAR(back.runs[0].counting.total.stall_s, r.counting.total.stall_s,
               1e-12);
 }
+
+TEST(ChaosCounters, OmegaWritesChargedOncePerSuccessfulDmaTransfer) {
+  // Retries pay backoff *time*, never traffic: with omega active, a DMA
+  // far write that fails twice before succeeding must charge exactly the
+  // same (omega-weighted) write bytes, blocks, and bursts as a clean run —
+  // the retry gate sits before the charge sites.
+  TwoLevelConfig cfg = chaos_config();
+  cfg.far_write_cost = 4.0;
+
+  auto run = [&](FaultInjector* fi) {
+    Machine m(cfg);
+    m.set_fault_injector(fi);
+    auto far = m.alloc_array<std::uint64_t>(Space::Far, 1024);
+    auto near = m.alloc_array<std::uint64_t>(Space::Near, 1024);
+    m.begin_phase("d");
+    m.dma_copy(0, far.data(), near.data(), near.size_bytes());  // far writes
+    m.end_phase();
+    return m.stats().phases.at(0);
+  };
+
+  const PhaseStats clean = run(nullptr);
+  FaultInjector fi(17);
+  fi.arm(fault_site::kDmaFail, FaultSchedule::burst(1, 2));
+  const PhaseStats faulty = run(&fi);
+
+  EXPECT_EQ(faulty.far_write_bytes, clean.far_write_bytes);
+  EXPECT_EQ(faulty.far_write_blocks, clean.far_write_blocks);
+  EXPECT_EQ(faulty.far_write_bursts, clean.far_write_bursts);
+  EXPECT_EQ(faulty.dma_far_write_bytes, clean.dma_far_write_bytes);
+  EXPECT_EQ(faulty.dma_far_write_bursts, clean.dma_far_write_bursts);
+  EXPECT_EQ(faulty.far_read_bytes, clean.far_read_bytes);
+  // The omega-weighted transfer time is identical; only stall time grew.
+  EXPECT_EQ(faulty.far_s, clean.far_s);
+  EXPECT_GT(faulty.stall_s, clean.stall_s);
+}
+
+#if TLM_MODEL_CHECKS_ENABLED
+TEST(ChaosDeathTest, BypassedFarWriteCounterTripsRwConservation) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // A charge site that bumps the legacy combined counters without the
+  // directional twins (or the shadow entry points) must die at phase end
+  // with the conservation rule, not silently skew the omega model.
+  EXPECT_DEATH(
+      {
+        Machine m(chaos_config());
+        auto far = m.alloc_array<std::uint64_t>(Space::Far, 64);
+        m.begin_phase("p");
+        m.stream_write(0, far.data(), 64);
+        m.debug_bypass_far_write_for_test(64);
+        m.end_phase();
+      },
+      "model\\.rw_conservation");
+}
+#endif
 
 TEST(ChaosDeathTest, DmaRetryBudgetExhaustionAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";

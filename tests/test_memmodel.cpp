@@ -194,6 +194,88 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1.0, 2.0, 4.0, 8.0, 16.0),
                        ::testing::Values(1e6, 3e7, 1e9)));
 
+// --- asymmetric read/write cost model (ω) -----------------------------------
+
+TEST(Omega, ValidationRejectsBelowOne) {
+  ScratchpadModel m = test_model();
+  m.write_cost = 0.5;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  NodeThroughput t{1e10, 1e9, 1e6, 0.5};
+  EXPECT_THROW(boundedness_ratio(t), std::invalid_argument);
+}
+
+TEST(Omega, AsymmetricMultipassGolden) {
+  // rounds passes, each reading and writing N/B blocks: with ω = 4 every
+  // pass costs (N/B)·(1 + 4).
+  ScratchpadModel m = test_model();
+  m.write_cost = 4.0;
+  const double n = 1e6;
+  const double nb = n / static_cast<double>(m.block_b);
+  EXPECT_DOUBLE_EQ(asymmetric_multipass_cost(m, n, 2.0), 2.0 * nb * 5.0);
+}
+
+TEST(Omega, OmegaOneIsExactNoOp) {
+  // ω = 1 must reproduce the symmetric model bit-for-bit: the multipass
+  // cost is plain 2·(N/B) per round, and the §V-A effective bandwidth is
+  // untouched (2/(1+1) is exact in binary floating point).
+  ScratchpadModel m = test_model();
+  ASSERT_DOUBLE_EQ(m.write_cost, 1.0);
+  const double n = 1e6;
+  const double nb = n / static_cast<double>(m.block_b);
+  EXPECT_DOUBLE_EQ(asymmetric_multipass_cost(m, n, 2.0), 2.0 * nb * 2.0);
+  NodeThroughput t{1e10, 1e9, 1e6};
+  EXPECT_DOUBLE_EQ(t.effective_memory_rate(), t.memory_rate);
+  NodeThroughput explicit_one{1e10, 1e9, 1e6, 1.0};
+  EXPECT_DOUBLE_EQ(boundedness_ratio(t), boundedness_ratio(explicit_one));
+}
+
+TEST(Omega, WriteEfficientCrossoverIsExact) {
+  // Stock NMsort: 2 rounds of (N/B)(1+ω). Write-efficient: (N/B)(1+c+ω)
+  // with c gather sweeps. They tie exactly at ω = c − 1 (crossover_omega),
+  // stock wins below, write-efficient wins above.
+  ScratchpadModel m = test_model();
+  const double n = 1e6;  // c = ceil(1e6 / (256Ki/2)) = 8 sweeps
+  EXPECT_DOUBLE_EQ(write_efficient_sweeps(m, n), 8.0);
+  const double cross = crossover_omega(m, n);
+  EXPECT_DOUBLE_EQ(cross, 7.0);
+
+  auto stock = [&](double omega) {
+    ScratchpadModel w = m;
+    w.write_cost = omega;
+    return asymmetric_multipass_cost(w, n, 2.0);
+  };
+  auto we = [&](double omega) {
+    ScratchpadModel w = m;
+    w.write_cost = omega;
+    return write_efficient_sort_cost(w, n);
+  };
+  EXPECT_DOUBLE_EQ(stock(cross), we(cross));
+  EXPECT_LT(stock(cross - 1.0), we(cross - 1.0));
+  EXPECT_GT(stock(cross + 1.0), we(cross + 1.0));
+}
+
+TEST(Omega, SweepsMonotoneAndFloored) {
+  ScratchpadModel m = test_model();
+  EXPECT_DOUBLE_EQ(write_efficient_sweeps(m, 16.0), 1.0);  // floor at one
+  EXPECT_LE(write_efficient_sweeps(m, 1e6), write_efficient_sweeps(m, 2e6));
+  EXPECT_DOUBLE_EQ(crossover_omega(m, 16.0), 1.0);  // never below one
+}
+
+TEST(Omega, EffectiveRateDegradesWithOmega) {
+  NodeThroughput t{1e10, 1e9, 1e6};
+  double prev = boundedness_ratio(t);
+  for (double omega : {2.0, 4.0, 16.0}) {
+    t.write_cost = omega;
+    EXPECT_LT(t.effective_memory_rate(), t.memory_rate);
+    const double r = boundedness_ratio(t);
+    EXPECT_GT(r, prev) << "higher omega must push toward memory-bound";
+    prev = r;
+  }
+  // ω = 3 halves the blended element rate: 2/(1+3) = 1/2 exactly.
+  t.write_cost = 3.0;
+  EXPECT_DOUBLE_EQ(t.effective_memory_rate(), t.memory_rate / 2.0);
+}
+
 // --- §V-A memory-bound predictor -------------------------------------------
 
 TEST(MemBound, PaperWorkedExample) {

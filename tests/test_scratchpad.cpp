@@ -423,6 +423,174 @@ TEST(Faults, NthAndRearmSemantics) {
   EXPECT_EQ(fi.site_stats("never.armed").checks, 0u);
 }
 
+// --- asymmetric read/write split (omega) ------------------------------------
+
+// The conservation law the split counters must obey in every phase: each
+// combined counter equals the sum of its directional twins. The split is
+// double-booked at the charge sites (not derived), so these are falsifiable.
+void expect_conserved(const PhaseStats& ph) {
+  EXPECT_EQ(ph.far_read_bytes + ph.far_write_bytes, ph.far_bytes());
+  EXPECT_EQ(ph.near_read_bytes + ph.near_write_bytes, ph.near_bytes());
+  EXPECT_EQ(ph.far_read_blocks + ph.far_write_blocks, ph.far_blocks);
+  EXPECT_EQ(ph.near_read_blocks + ph.near_write_blocks, ph.near_blocks);
+  EXPECT_EQ(ph.far_read_bursts + ph.far_write_bursts, ph.far_bursts);
+  EXPECT_EQ(ph.near_read_bursts + ph.near_write_bursts, ph.near_bursts);
+  EXPECT_EQ(ph.dma_far_read_bytes + ph.dma_far_write_bytes, ph.dma_far_bytes);
+  EXPECT_EQ(ph.dma_near_read_bytes + ph.dma_near_write_bytes,
+            ph.dma_near_bytes);
+  EXPECT_EQ(ph.dma_far_read_bursts + ph.dma_far_write_bursts,
+            ph.dma_far_bursts);
+  EXPECT_EQ(ph.dma_near_read_bursts + ph.dma_near_write_bursts,
+            ph.dma_near_bursts);
+}
+
+TEST(OmegaSplit, EveryOpKindConserves) {
+  Machine m(cfg1());
+  auto near = m.alloc_array<std::uint64_t>(Space::Near, 1024);
+  auto far = m.alloc_array<std::uint64_t>(Space::Far, 1024);
+
+  m.begin_phase("copy.f2n");
+  m.copy(0, near.data(), far.data(), far.size_bytes());
+  m.end_phase();
+  m.begin_phase("copy.n2f");
+  m.copy(0, far.data(), near.data(), near.size_bytes());
+  m.end_phase();
+  m.begin_phase("dma.f2n");
+  m.dma_copy(0, near.data(), far.data(), far.size_bytes());
+  m.end_phase();
+  m.begin_phase("dma.n2f");
+  m.dma_copy(0, far.data(), near.data(), near.size_bytes());
+  m.end_phase();
+  m.begin_phase("stream");
+  m.stream_read(0, far.data(), 64);
+  m.stream_write(0, far.data(), 64);
+  m.stream_read(0, near.data(), 64);
+  m.stream_write(0, near.data(), 64);
+  m.end_phase();
+
+  const MachineStats st = m.stats();
+  ASSERT_EQ(st.phases.size(), 5u);
+  for (const PhaseStats& ph : st.phases) expect_conserved(ph);
+  expect_conserved(st.total);
+
+  // Directional attribution: a far->near copy is all far *reads* and near
+  // *writes*; the reverse copy flips both.
+  const PhaseStats& f2n = st.phases[0];
+  EXPECT_EQ(f2n.far_read_bytes, 8192u);
+  EXPECT_EQ(f2n.far_write_blocks, 0u);
+  EXPECT_EQ(f2n.far_read_blocks, f2n.far_blocks);
+  EXPECT_EQ(f2n.near_write_blocks, f2n.near_blocks);
+  EXPECT_EQ(f2n.near_read_bursts, 0u);
+  const PhaseStats& n2f = st.phases[1];
+  EXPECT_EQ(n2f.far_write_blocks, n2f.far_blocks);
+  EXPECT_EQ(n2f.far_read_bursts, 0u);
+  EXPECT_EQ(n2f.near_read_blocks, n2f.near_blocks);
+  // DMA traffic lands in the dma splits as well as the combined ones.
+  const PhaseStats& dma = st.phases[2];
+  EXPECT_EQ(dma.dma_far_read_bytes, 8192u);
+  EXPECT_EQ(dma.dma_far_write_bytes, 0u);
+  EXPECT_EQ(dma.dma_near_write_bytes, 8192u);
+  EXPECT_EQ(dma.dma_far_read_bursts, dma.dma_far_bursts);
+}
+
+TEST(OmegaSplit, ConcurrentChargesConserve) {
+  TwoLevelConfig c = cfg1();
+  c.threads = 8;
+  Machine m(c);
+  auto far = m.alloc_array<std::uint64_t>(Space::Far, 8 * 1024);
+  auto near = m.alloc_array<std::uint64_t>(Space::Near, 8 * 1024);
+  m.begin_phase("stress");
+  constexpr int kIters = 1000;
+  m.run_spmd([&](std::size_t w) {
+    auto fslice = far.subspan(w * 1024, 1024);
+    auto nslice = near.subspan(w * 1024, 1024);
+    for (int i = 0; i < kIters; ++i) {
+      m.stream_read(w, fslice.data(), 64);
+      m.stream_write(w, fslice.data(), 32);
+      m.copy(w, nslice.data(), fslice.data(), 128);
+      m.dma_copy(w, fslice.data(), nslice.data(), 256);
+    }
+  });
+  m.end_phase();
+  const PhaseStats ph = m.stats().phases.at(0);
+  expect_conserved(ph);
+  EXPECT_EQ(ph.far_read_bytes, 8ull * kIters * (64 + 128));
+  EXPECT_EQ(ph.far_write_bytes, 8ull * kIters * (32 + 256));
+  EXPECT_EQ(ph.near_read_bytes, 8ull * kIters * 256);
+  EXPECT_EQ(ph.near_write_bytes, 8ull * kIters * 128);
+  EXPECT_EQ(ph.dma_far_write_bytes, 8ull * kIters * 256);
+  EXPECT_EQ(ph.dma_far_read_bytes, 0u);
+}
+
+TEST(OmegaTime, FarWritesWeightedByOmega) {
+  TwoLevelConfig c = cfg1();
+  c.far_write_cost = 4.0;
+  ASSERT_NO_THROW(c.validate());
+  Machine m(c);
+  auto far = m.alloc_array<std::uint64_t>(Space::Far, 4096);
+  m.begin_phase("w");
+  m.stream_read(0, far.data(), 4096);
+  m.stream_write(0, far.data(), 8192);
+  m.end_phase();
+  const PhaseStats ph = m.stats().phases.at(0);
+  const double p = static_cast<double>(c.threads);
+  const double want =
+      (static_cast<double>(ph.far_read_bytes) +
+       4.0 * static_cast<double>(ph.far_write_bytes)) /
+          c.far_bw +
+      (static_cast<double>(ph.far_read_bursts) +
+       4.0 * static_cast<double>(ph.far_write_bursts)) *
+          c.far_latency / p;
+  EXPECT_EQ(ph.far_s, want);  // exact: same arithmetic, same order
+  EXPECT_GT(ph.far_s,
+            static_cast<double>(ph.far_bytes()) / c.far_bw +
+                static_cast<double>(ph.far_bursts) * c.far_latency / p);
+}
+
+TEST(OmegaTime, OmegaOneIsBitExactLegacy) {
+  // The omega == 1 branch must keep the legacy arithmetic (sum the uint64s,
+  // cast once): bit-exact equality, not approximate.
+  Machine m(cfg1());
+  auto far = m.alloc_array<std::uint64_t>(Space::Far, 4096);
+  m.begin_phase("w");
+  m.stream_read(0, far.data(), 4093);  // odd sizes: rounding-sensitive
+  m.stream_write(0, far.data(), 8191);
+  m.end_phase();
+  const PhaseStats ph = m.stats().phases.at(0);
+  const double p = static_cast<double>(m.config().threads);
+  const double legacy =
+      static_cast<double>(ph.far_bytes()) / m.config().far_bw +
+      static_cast<double>(ph.far_bursts) * m.config().far_latency / p;
+  EXPECT_EQ(ph.far_s, legacy);
+}
+
+TEST(OmegaTime, ConfigRejectsOmegaBelowOne) {
+  TwoLevelConfig c = cfg1();
+  c.far_write_cost = 0.99;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(OmegaTime, DmaFarSideWeighted) {
+  // Under overlap, the engine's far side is omega-weighted exactly like the
+  // core-driven far traffic: a write-heavy DMA gets slower with omega.
+  TwoLevelConfig c = cfg1();
+  c.overlap_dma = true;
+  double prev = 0;
+  for (double omega : {1.0, 4.0, 16.0}) {
+    c.far_write_cost = omega;
+    Machine m(c);
+    auto far = m.alloc_array<std::uint64_t>(Space::Far, 1 << 14);
+    auto near = m.alloc_array<std::uint64_t>(Space::Near, 1 << 14);
+    m.begin_phase("d");
+    m.dma_copy(0, far.data(), near.data(), near.size_bytes());  // far writes
+    m.end_phase();
+    const PhaseStats ph = m.stats().phases.at(0);
+    expect_conserved(ph);
+    EXPECT_GT(ph.dma_s, prev) << "omega=" << omega;
+    prev = ph.dma_s;
+  }
+}
+
 TEST(Machine, StreamChargesWithoutMoving) {
   Machine m(cfg1());
   auto far = m.alloc_array<std::uint64_t>(Space::Far, 256);
