@@ -142,6 +142,66 @@ struct PhaseStats {
   }
 };
 
+// Counter-wise difference of two cumulative PhaseStats snapshots, for
+// attributing machine-lifetime totals to a window of work (the job server
+// brackets each scheduled tenant phase with Machine::totals() snapshots and
+// charges the delta to that tenant). All summed counters subtract; the
+// max-tracked fields (partition_imbalance_max) take the `after` value since
+// a maximum has no meaningful difference. Callers must pass snapshots of the
+// same monotone series (`after` taken later than `before`).
+inline PhaseStats phase_delta(const PhaseStats& after,
+                              const PhaseStats& before) {
+  PhaseStats d;
+  d.name = after.name;
+  d.far_read_bytes = after.far_read_bytes - before.far_read_bytes;
+  d.far_write_bytes = after.far_write_bytes - before.far_write_bytes;
+  d.near_read_bytes = after.near_read_bytes - before.near_read_bytes;
+  d.near_write_bytes = after.near_write_bytes - before.near_write_bytes;
+  d.far_blocks = after.far_blocks - before.far_blocks;
+  d.near_blocks = after.near_blocks - before.near_blocks;
+  d.far_bursts = after.far_bursts - before.far_bursts;
+  d.near_bursts = after.near_bursts - before.near_bursts;
+  d.dma_far_bytes = after.dma_far_bytes - before.dma_far_bytes;
+  d.dma_near_bytes = after.dma_near_bytes - before.dma_near_bytes;
+  d.dma_far_bursts = after.dma_far_bursts - before.dma_far_bursts;
+  d.dma_near_bursts = after.dma_near_bursts - before.dma_near_bursts;
+  d.far_read_blocks = after.far_read_blocks - before.far_read_blocks;
+  d.far_write_blocks = after.far_write_blocks - before.far_write_blocks;
+  d.near_read_blocks = after.near_read_blocks - before.near_read_blocks;
+  d.near_write_blocks = after.near_write_blocks - before.near_write_blocks;
+  d.far_read_bursts = after.far_read_bursts - before.far_read_bursts;
+  d.far_write_bursts = after.far_write_bursts - before.far_write_bursts;
+  d.near_read_bursts = after.near_read_bursts - before.near_read_bursts;
+  d.near_write_bursts = after.near_write_bursts - before.near_write_bursts;
+  d.dma_far_read_bytes = after.dma_far_read_bytes - before.dma_far_read_bytes;
+  d.dma_far_write_bytes =
+      after.dma_far_write_bytes - before.dma_far_write_bytes;
+  d.dma_near_read_bytes =
+      after.dma_near_read_bytes - before.dma_near_read_bytes;
+  d.dma_near_write_bytes =
+      after.dma_near_write_bytes - before.dma_near_write_bytes;
+  d.dma_far_read_bursts =
+      after.dma_far_read_bursts - before.dma_far_read_bursts;
+  d.dma_far_write_bursts =
+      after.dma_far_write_bursts - before.dma_far_write_bursts;
+  d.dma_near_read_bursts =
+      after.dma_near_read_bursts - before.dma_near_read_bursts;
+  d.dma_near_write_bursts =
+      after.dma_near_write_bursts - before.dma_near_write_bursts;
+  d.partition_splits = after.partition_splits - before.partition_splits;
+  d.partition_imbalance_max = after.partition_imbalance_max;
+  d.compute_ops_total = after.compute_ops_total - before.compute_ops_total;
+  d.compute_ops_max = after.compute_ops_max - before.compute_ops_max;
+  d.far_s = after.far_s - before.far_s;
+  d.near_s = after.near_s - before.near_s;
+  d.compute_s = after.compute_s - before.compute_s;
+  d.dma_s = after.dma_s - before.dma_s;
+  d.stall_s = after.stall_s - before.stall_s;
+  d.seconds = after.seconds - before.seconds;
+  d.host_seconds = after.host_seconds - before.host_seconds;
+  return d;
+}
+
 // Observables of the staged-streaming primitive (scratchpad/stager.hpp):
 // how many batches flowed through staging buffers, how the gather traffic
 // split between synchronous core copies and DMA-engine prefetches, and how
@@ -200,6 +260,38 @@ struct FaultStats {
     return *this;
   }
 };
+
+// Snapshot deltas for the stager/fault aggregates, same contract as
+// phase_delta: every field is a monotone sum.
+inline StagerStats stager_delta(const StagerStats& after,
+                                const StagerStats& before) {
+  StagerStats d;
+  d.batches = after.batches - before.batches;
+  d.sync_bytes = after.sync_bytes - before.sync_bytes;
+  d.prefetch_batches = after.prefetch_batches - before.prefetch_batches;
+  d.prefetch_bytes = after.prefetch_bytes - before.prefetch_bytes;
+  d.fallback_direct = after.fallback_direct - before.fallback_direct;
+  d.restarts = after.restarts - before.restarts;
+  d.degrade_to_single = after.degrade_to_single - before.degrade_to_single;
+  d.degrade_to_direct = after.degrade_to_direct - before.degrade_to_direct;
+  return d;
+}
+
+inline FaultStats fault_delta(const FaultStats& after,
+                              const FaultStats& before) {
+  FaultStats d;
+  d.near_alloc_injected =
+      after.near_alloc_injected - before.near_alloc_injected;
+  d.near_alloc_exhausted =
+      after.near_alloc_exhausted - before.near_alloc_exhausted;
+  d.near_far_fallbacks = after.near_far_fallbacks - before.near_far_fallbacks;
+  d.dma_injected = after.dma_injected - before.dma_injected;
+  d.dma_retries = after.dma_retries - before.dma_retries;
+  d.far_stalls = after.far_stalls - before.far_stalls;
+  d.backoff_s = after.backoff_s - before.backoff_s;
+  d.stall_s = after.stall_s - before.stall_s;
+  return d;
+}
 
 struct MachineStats {
   PhaseStats total;                // sums over all closed phases

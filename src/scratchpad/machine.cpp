@@ -73,6 +73,11 @@ std::byte* Machine::try_alloc_near(std::uint64_t bytes, std::uint64_t align,
     ++fault_stats_.near_alloc_injected;
     return nullptr;
   }
+  // Tenant quota gate: a rejection looks exactly like arena exhaustion to
+  // the caller (nullptr), so the PR 5 degradation ladder handles both —
+  // an over-quota tenant steps its own Stagers toward direct-from-far
+  // without ever touching the shared arena.
+  if (gate_ && !gate_->admit(bytes, loc)) return nullptr;
   std::byte* p = nullptr;
   try {
     // No check_capacity here: genuine exhaustion is a recoverable outcome
@@ -81,8 +86,10 @@ std::byte* Machine::try_alloc_near(std::uint64_t bytes, std::uint64_t align,
     p = arena_.allocate(bytes, align);
   } catch (const std::bad_alloc&) {
     ++fault_stats_.near_alloc_exhausted;
+    if (gate_) gate_->refund(bytes);
     return nullptr;
   }
+  if (gate_) gate_->granted(p, bytes);
 #if TLM_MODEL_CHECKS_ENABLED
   shadow_near_.insert_or_assign(
       arena_.offset_of(p),
@@ -104,9 +111,26 @@ FaultStats Machine::fault_stats() const {
   return fault_stats_;
 }
 
+void Machine::set_near_gate(NearQuotaGate* g) {
+  MutexLock lock(alloc_mu_);
+  gate_ = g;
+}
+
+NearQuotaGate* Machine::near_gate() const {
+  MutexLock lock(alloc_mu_);
+  return gate_;
+}
+
 void Machine::dealloc(Space s, std::byte* p) {
   MutexLock lock(alloc_mu_);
   if (s == Space::Near) {
+    if (gate_) {
+      // Credit the installed gate before the block metadata disappears; the
+      // gate ignores pointers it never granted (another tenant's, or
+      // pre-server allocations), so this is safe to fire unconditionally.
+      const auto blk = arena_.live_block_of(arena_.offset_of(p));
+      if (blk) gate_->freed(p, blk->second);
+    }
 #if TLM_MODEL_CHECKS_ENABLED
     shadow_near_.erase(arena_.offset_of(p));
 #endif
@@ -757,6 +781,17 @@ MachineStats Machine::stats() const {
       out.total += phase;
       out.phases.push_back(std::move(phase));
     }
+  }
+  return out;
+}
+
+PhaseStats Machine::totals() const {
+  PhaseStats out = stats_.total;
+  if (open_phase_) {
+    PhaseStats open;
+    fold_open_phase(open);
+    if (open.far_bytes() || open.near_bytes() || open.compute_ops_total > 0)
+      out += open;
   }
   return out;
 }

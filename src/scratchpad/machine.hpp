@@ -41,6 +41,29 @@
 
 namespace tlm {
 
+// Per-tenant admission hook for the fallible near-allocation path. The job
+// server (src/server) installs one around each scheduled tenant phase so
+// every try_alloc_near is charged against that tenant's quota before it
+// reaches the arena. All four callbacks run under the Machine's alloc_mu_ —
+// implementations need no locking of their own for state touched only here,
+// but must not call back into the installing Machine.
+//
+// Protocol per allocation: admit() may reject (the caller sees nullptr,
+// exactly like arena exhaustion, and degrades); if admit() accepted but the
+// arena itself is full, refund() returns the charge; on success granted()
+// records ownership of the base pointer. freed() fires for every near
+// deallocation while the gate is installed — including pointers the gate
+// never granted (another tenant's, or pre-server allocations) — so
+// implementations must track ownership and ignore foreign frees.
+class NearQuotaGate {
+ public:
+  virtual ~NearQuotaGate() = default;
+  virtual bool admit(std::uint64_t bytes, const std::source_location& loc) = 0;
+  virtual void granted(const void* p, std::uint64_t bytes) = 0;
+  virtual void refund(std::uint64_t bytes) = 0;
+  virtual void freed(const void* p, std::uint64_t bytes) = 0;
+};
+
 class Machine {
  public:
   explicit Machine(TwoLevelConfig cfg, trace::TraceSink* sink = nullptr);
@@ -118,6 +141,14 @@ class Machine {
   // try_alloc_near, dma_copy, and the far charge paths. Not owned.
   void set_fault_injector(FaultInjector* fi) { fi_ = fi; }
   FaultInjector* fault_injector() const { return fi_; }
+
+  // Installs (or clears, with nullptr) the tenant quota gate consulted by
+  // try_alloc_near and credited by the near dealloc path. Not owned; the
+  // caller keeps it alive while installed. Infallible alloc(Space::Near)
+  // bypasses the gate by design — quotas ride the fallible path only, so a
+  // denial is always recoverable (documented blind spot in DESIGN.md §14).
+  void set_near_gate(NearQuotaGate* g);
+  NearQuotaGate* near_gate() const;
   // Machine-lifetime fault/retry/fallback accounting.
   FaultStats fault_stats() const;
 
@@ -199,6 +230,10 @@ class Machine {
 
   // Aggregated statistics; finalizes an open phase view without closing it.
   MachineStats stats() const;
+  // Machine-lifetime totals without copying the per-phase vector — O(p)
+  // instead of O(#phases), so long-lived callers (the job server snapshots
+  // totals around every scheduled phase) stay cheap as phases accumulate.
+  PhaseStats totals() const;
   // Per-thread compute accumulated in the currently open phase — for load
   // balance diagnostics.
   std::vector<double> thread_ops() const {
@@ -275,6 +310,11 @@ class Machine {
   // default) keeps every fault hook a single predictable branch.
   FaultInjector* fi_ = nullptr;
   FaultStats fault_stats_ TLM_GUARDED_BY(alloc_mu_);
+
+  // Tenant quota gate: consulted in try_alloc_near and credited in the near
+  // dealloc path, both of which already hold alloc_mu_, so gate swaps and
+  // gate callbacks are mutually serialized.
+  NearQuotaGate* gate_ TLM_GUARDED_BY(alloc_mu_) = nullptr;
 
 #if TLM_MODEL_CHECKS_ENABLED
   // Shadow per-allocation state for the model sanitizer: which phase an

@@ -50,6 +50,13 @@ inline constexpr const char* kSpaceAttribution = "model.space_attribution";
 // at every phase end — a bypassed split counter (e.g. a write charged on
 // the combined field only) trips this.
 inline constexpr const char* kRwConservation = "model.rw_conservation";
+// Multi-tenant rules (src/server): a tenant's quota-charged near bytes must
+// all be released by the time its job completes...
+inline constexpr const char* kTenantLeak = "model.tenant_leak";
+// ...and the per-tenant PhaseStats attribution must conserve: the sum of
+// every tenant's attributed traffic plus the untenanted residue equals the
+// machine-lifetime totals when the server drains.
+inline constexpr const char* kTenantAttribution = "model.tenant_attribution";
 }  // namespace model_rule
 
 [[noreturn]] inline void model_check_fail(const char* rule,

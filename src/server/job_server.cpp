@@ -1,0 +1,412 @@
+#include "server/job_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+#include "common/assert.hpp"
+
+namespace tlm::server {
+
+// ---------------------------------------------------------------------------
+// internal state
+
+struct JobHandle::State {
+  JobSpec spec;
+  // JobStatus, stored with release so `error` (written first) is visible to
+  // any thread that observed the settled status with acquire.
+  std::atomic<int> status{static_cast<int>(JobStatus::kQueued)};
+  std::size_t next_phase = 0;  // scheduler-owned, mutated under the server mu_
+  std::string error;
+};
+
+struct JobServer::Tenant {
+  std::string name;
+  TenantArena arena;
+  std::deque<std::shared_ptr<JobHandle::State>> queue;
+
+  std::uint64_t admissions = 0;
+  std::uint64_t rejections = 0;
+  std::uint64_t backoff_stalls = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t phases_run = 0;
+
+  PhaseStats attributed;
+  StagerStats stager;
+  FaultStats faults;
+  std::vector<double> phase_seconds;
+  std::vector<double> phase_model_seconds;
+
+  Tenant(Machine& m, const std::string& n, std::uint64_t quota)
+      : name(n), arena(m, n, quota) {}
+};
+
+// One scheduling round: a (tenant, job, phase) pick plus the snapshots the
+// combiner takes around its execution.
+struct JobServer::Work {
+  Tenant* tenant = nullptr;
+  std::shared_ptr<JobHandle::State> job;
+  const JobPhase* phase = nullptr;
+  bool failed = false;
+  std::string error;
+  PhaseStats before, after;
+  StagerStats stager_before, stager_after;
+  FaultStats faults_before, faults_after;
+  double host_s = 0;
+};
+
+// ---------------------------------------------------------------------------
+// JobHandle
+
+JobStatus JobHandle::status() const {
+  TLM_REQUIRE(st_ != nullptr, "empty JobHandle");
+  return static_cast<JobStatus>(st_->status.load(std::memory_order_acquire));
+}
+
+std::string JobHandle::error() const {
+  TLM_REQUIRE(st_ != nullptr, "empty JobHandle");
+  const auto s = status();
+  return s == JobStatus::kFailed ? st_->error : std::string();
+}
+
+void JobHandle::wait() {
+  TLM_REQUIRE(st_ != nullptr && srv_ != nullptr, "empty JobHandle");
+  srv_->wait_settled(st_);
+}
+
+// ---------------------------------------------------------------------------
+// JobServer
+
+bool JobServer::settled(const std::shared_ptr<JobHandle::State>& st) {
+  const auto s =
+      static_cast<JobStatus>(st->status.load(std::memory_order_acquire));
+  return s == JobStatus::kDone || s == JobStatus::kFailed ||
+         s == JobStatus::kRejected;
+}
+
+JobServer::JobServer(Machine& m) : JobServer(m, Options{}) {}
+
+JobServer::JobServer(Machine& m, Options opt) : machine_(m), opt_(opt) {
+  TLM_REQUIRE(opt_.max_outstanding > 0 && opt_.max_queue_per_tenant > 0,
+              "admission limits must be positive");
+  MutexLock lock(mu_);
+  last_snapshot_ = machine_.totals();
+}
+
+JobServer::~JobServer() { drain(); }
+
+TenantArena& JobServer::add_tenant(const std::string& name,
+                                   std::uint64_t quota_bytes) {
+  TLM_REQUIRE(!name.empty(), "tenant name must be non-empty");
+  MutexLock lock(mu_);
+  for (const auto& t : tenants_)
+    TLM_REQUIRE(t->name != name, "tenant already registered");
+  tenants_.push_back(std::make_unique<Tenant>(machine_, name, quota_bytes));
+  return tenants_.back()->arena;
+}
+
+bool JobServer::become_combiner() {
+  MutexLock lock(mu_);
+  if (combining_) return false;
+  combining_ = true;
+  return true;
+}
+
+bool JobServer::pick_next_locked(Work& w) {
+  if (tenants_.empty()) return false;
+  const std::size_t n = tenants_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    Tenant& t = *tenants_[(rr_ + i) % n];
+    // Settle zero-phase jobs inline — there is nothing to schedule.
+    while (!t.queue.empty() &&
+           t.queue.front()->next_phase == t.queue.front()->spec.phases.size()) {
+      t.arena.check_job_end(t.queue.front()->spec.name);
+      t.queue.front()->status.store(static_cast<int>(JobStatus::kDone),
+                                    std::memory_order_release);
+      t.queue.pop_front();
+      --outstanding_;
+      ++t.jobs_completed;
+    }
+    if (t.queue.empty()) continue;
+    w.tenant = &t;
+    w.job = t.queue.front();
+    w.phase = &w.job->spec.phases[w.job->next_phase];
+    rr_ = ((rr_ + i) % n) + 1;  // fairness: next round starts after us
+    return true;
+  }
+  return false;
+}
+
+void JobServer::execute(Work& w) {
+  Tenant& t = *w.tenant;
+  w.before = machine_.totals();
+  w.stager_before = machine_.stager_stats();
+  w.faults_before = machine_.fault_stats();
+  w.job->status.store(static_cast<int>(JobStatus::kRunning),
+                      std::memory_order_release);
+
+  t.arena.install();
+  machine_.begin_phase("tenant/" + t.name + "/" + w.job->spec.name + "/" +
+                       w.phase->name);
+  JobContext ctx{machine_, t.arena};
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    w.phase->fn(ctx);
+  } catch (const std::exception& e) {
+    w.failed = true;
+    w.error = e.what();
+  } catch (...) {
+    w.failed = true;
+    w.error = "unknown exception";
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  machine_.end_phase();
+  t.arena.uninstall();
+
+  w.after = machine_.totals();
+  w.stager_after = machine_.stager_stats();
+  w.faults_after = machine_.fault_stats();
+  w.host_s = std::chrono::duration<double>(t1 - t0).count();
+}
+
+void JobServer::finish_locked(Work& w) {
+  Tenant& t = *w.tenant;
+  // Traffic between the previous bracketed phase and this one ran outside
+  // any tenant (direct Machine use by the embedding program); keep it in a
+  // separate bucket so attribution stays conservative, not approximate.
+  untenanted_ += phase_delta(w.before, last_snapshot_);
+  const PhaseStats attributed = phase_delta(w.after, w.before);
+  t.attributed += attributed;
+  t.stager += stager_delta(w.stager_after, w.stager_before);
+  t.faults += fault_delta(w.faults_after, w.faults_before);
+  last_snapshot_ = w.after;
+  t.phase_seconds.push_back(w.host_s);
+  t.phase_model_seconds.push_back(attributed.seconds);
+  ++t.phases_run;
+
+  if (w.failed) {
+    w.job->error = w.error;
+    w.job->status.store(static_cast<int>(JobStatus::kFailed),
+                        std::memory_order_release);
+    t.queue.pop_front();
+    --outstanding_;
+    ++t.jobs_failed;
+    return;
+  }
+  ++w.job->next_phase;
+  if (w.job->next_phase == w.job->spec.phases.size()) {
+    t.arena.check_job_end(w.job->spec.name);
+    w.job->status.store(static_cast<int>(JobStatus::kDone),
+                        std::memory_order_release);
+    t.queue.pop_front();
+    --outstanding_;
+    ++t.jobs_completed;
+    return;
+  }
+  w.job->status.store(static_cast<int>(JobStatus::kQueued),
+                      std::memory_order_release);
+}
+
+std::size_t JobServer::combine(std::size_t max_phases,
+                               const std::function<bool()>& stop) {
+  std::size_t ran = 0;
+  while (ran < max_phases && !stop()) {
+    Work w;
+    {
+      MutexLock lock(mu_);
+      if (!pick_next_locked(w)) break;
+    }
+    execute(w);
+    {
+      MutexLock lock(mu_);
+      finish_locked(w);
+    }
+    cv_.notify_all();
+    ++ran;
+  }
+  {
+    MutexLock lock(mu_);
+    combining_ = false;
+  }
+  cv_.notify_all();
+  return ran;
+}
+
+JobHandle JobServer::submit(JobSpec spec) {
+  auto st = std::make_shared<JobHandle::State>();
+  st->spec = std::move(spec);
+  JobHandle h;
+  h.st_ = st;
+  h.srv_ = this;
+
+  std::uint32_t attempt = 0;
+  for (;;) {
+    {
+      MutexLock lock(mu_);
+      Tenant* tenant = nullptr;
+      for (const auto& t : tenants_)
+        if (t->name == st->spec.tenant) tenant = t.get();
+      TLM_REQUIRE(tenant != nullptr, "submit: unregistered tenant");
+      if (outstanding_ < opt_.max_outstanding &&
+          tenant->queue.size() < opt_.max_queue_per_tenant) {
+        tenant->queue.push_back(st);
+        ++outstanding_;
+        ++tenant->admissions;
+        return h;
+      }
+      ++attempt;
+      ++tenant->backoff_stalls;
+      if (attempt > opt_.admission_retry_budget) {
+        ++tenant->rejections;
+        st->status.store(static_cast<int>(JobStatus::kRejected),
+                         std::memory_order_release);
+        return h;
+      }
+    }
+    // Bounded deterministic backoff: instead of sleeping, the submitter
+    // helps drain the queues — up to 2^attempt scheduling rounds as the
+    // combiner — so each retry is preceded by real forward progress. When
+    // another thread already holds the combiner role, block until it hands
+    // the role off (its finish rounds notify the cv).
+    if (become_combiner()) {
+      combine(std::size_t{1} << std::min<std::uint32_t>(attempt, 10),
+              [] { return false; });
+    } else {
+      UniqueLock lock(mu_);
+      cv_.wait(lock.native(), [this] { return !combining_now(); });
+    }
+  }
+}
+
+void JobServer::wait_settled(const std::shared_ptr<JobHandle::State>& st) {
+  while (!settled(st)) {
+    if (become_combiner()) {
+      combine(~std::size_t{0}, [&st] { return settled(st); });
+    } else {
+      UniqueLock lock(mu_);
+      cv_.wait(lock.native(),
+               [this, &st] { return settled(st) || !combining_now(); });
+    }
+  }
+}
+
+void JobServer::drain() {
+  for (;;) {
+    if (become_combiner()) {
+      combine(~std::size_t{0}, [] { return false; });
+      MutexLock lock(mu_);
+      if (outstanding_ == 0) {
+        check_attribution_locked();
+        return;
+      }
+    } else {
+      UniqueLock lock(mu_);
+      cv_.wait(lock.native(), [this] { return !combining_now(); });
+    }
+  }
+}
+
+void JobServer::check_attribution_locked() {
+#if TLM_MODEL_CHECKS_ENABLED
+  // Conservation: every byte the machine counted since the server started
+  // must be attributed to exactly one tenant or the untenanted bucket.
+  // The tail delta covers traffic after the last bracketed phase.
+  const PhaseStats grand = machine_.totals();
+  PhaseStats sum = untenanted_;
+  for (const auto& t : tenants_) sum += t->attributed;
+  sum += phase_delta(grand, last_snapshot_);
+  const auto bad = [](const char* what, std::uint64_t attributed,
+                      std::uint64_t total) {
+    model_check_fail(model_rule::kTenantAttribution, "(drain)",
+                     std::string(what) + ": tenant attribution sums to " +
+                         std::to_string(attributed) +
+                         " but the machine counted " + std::to_string(total) +
+                         " — a scheduled phase escaped its snapshots",
+                     std::source_location::current());
+  };
+  if (sum.far_read_bytes != grand.far_read_bytes)
+    bad("far_read_bytes", sum.far_read_bytes, grand.far_read_bytes);
+  if (sum.far_write_bytes != grand.far_write_bytes)
+    bad("far_write_bytes", sum.far_write_bytes, grand.far_write_bytes);
+  if (sum.near_read_bytes != grand.near_read_bytes)
+    bad("near_read_bytes", sum.near_read_bytes, grand.near_read_bytes);
+  if (sum.near_write_bytes != grand.near_write_bytes)
+    bad("near_write_bytes", sum.near_write_bytes, grand.near_write_bytes);
+  if (sum.far_blocks != grand.far_blocks)
+    bad("far_blocks", sum.far_blocks, grand.far_blocks);
+  if (sum.near_blocks != grand.near_blocks)
+    bad("near_blocks", sum.near_blocks, grand.near_blocks);
+  if (sum.far_bursts != grand.far_bursts)
+    bad("far_bursts", sum.far_bursts, grand.far_bursts);
+  if (sum.near_bursts != grand.near_bursts)
+    bad("near_bursts", sum.near_bursts, grand.near_bursts);
+  if (sum.dma_far_bytes != grand.dma_far_bytes)
+    bad("dma_far_bytes", sum.dma_far_bytes, grand.dma_far_bytes);
+  if (sum.dma_near_bytes != grand.dma_near_bytes)
+    bad("dma_near_bytes", sum.dma_near_bytes, grand.dma_near_bytes);
+#endif
+}
+
+TenantStats JobServer::tenant_stats(const std::string& name) const {
+  MutexLock lock(mu_);
+  for (const auto& t : tenants_) {
+    if (t->name != name) continue;
+    TenantStats s;
+    s.tenant = t->name;
+    s.quota_bytes = t->arena.quota_bytes();
+    s.admissions = t->admissions;
+    s.rejections = t->rejections;
+    s.backoff_stalls = t->backoff_stalls;
+    s.quota_denials = t->arena.quota_denials();
+    s.high_water_bytes = t->arena.high_water_bytes();
+    s.jobs_completed = t->jobs_completed;
+    s.jobs_failed = t->jobs_failed;
+    s.phases_run = t->phases_run;
+    s.degrade_level = t->stager.degrade_to_direct > 0   ? 2
+                      : t->stager.degrade_to_single > 0 ? 1
+                                                        : 0;
+    s.attributed = t->attributed;
+    s.stager = t->stager;
+    s.faults = t->faults;
+    s.phase_seconds = t->phase_seconds;
+    s.phase_model_seconds = t->phase_model_seconds;
+    return s;
+  }
+  TLM_REQUIRE(false, "tenant_stats: unregistered tenant");
+  return {};
+}
+
+std::vector<std::string> JobServer::tenant_names() const {
+  MutexLock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(tenants_.size());
+  for (const auto& t : tenants_) out.push_back(t->name);
+  return out;
+}
+
+void JobServer::export_metrics(obs::MetricsRegistry& reg) const {
+  MutexLock lock(mu_);
+  for (const auto& t : tenants_) {
+    const std::string p = "tenant." + t->name + ".";
+    reg.counter(p + "quota_bytes").add(t->arena.quota_bytes());
+    reg.counter(p + "admissions").add(t->admissions);
+    reg.counter(p + "rejections").add(t->rejections);
+    reg.counter(p + "backoff_stalls").add(t->backoff_stalls);
+    reg.counter(p + "quota_denials").add(t->arena.quota_denials());
+    reg.counter(p + "high_water_bytes").add(t->arena.high_water_bytes());
+    reg.counter(p + "jobs_completed").add(t->jobs_completed);
+    reg.counter(p + "jobs_failed").add(t->jobs_failed);
+    reg.counter(p + "phases").add(t->phases_run);
+    reg.counter(p + "attributed_far_bytes").add(t->attributed.far_bytes());
+    reg.counter(p + "attributed_near_bytes").add(t->attributed.near_bytes());
+    reg.counter(p + "degrade_to_single").add(t->stager.degrade_to_single);
+    reg.counter(p + "degrade_to_direct").add(t->stager.degrade_to_direct);
+    reg.set_gauge(p + "degrade_level",
+                  t->stager.degrade_to_direct > 0   ? 2
+                  : t->stager.degrade_to_single > 0 ? 1
+                                                    : 0);
+  }
+}
+
+}  // namespace tlm::server

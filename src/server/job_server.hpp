@@ -1,0 +1,203 @@
+// JobServer — a long-lived multi-tenant runtime over one shared Machine.
+//
+// Tenants register with a near-memory quota, then submit jobs: ordered
+// lists of phases that run on the shared ThreadPool. Nobody owns run_spmd
+// anymore — the server is the single orchestrator, and it schedules one
+// phase at a time, round-robin across tenants, with that tenant's
+// TenantArena installed as the quota gate for the duration of the phase.
+//
+// The coordination core follows the combining idiom (cf. the Synch
+// framework's flat-combining objects): there is no dedicated scheduler
+// thread — that would also violate the raw-thread lint rule — instead any
+// client thread that calls submit()/wait()/drain() tries to become the
+// combiner, drains scheduling rounds while it holds the role, and hands it
+// off through the server mutex. Phases therefore execute serially, which
+// is what makes per-tenant attribution exact: the combiner brackets every
+// phase with Machine::totals() snapshots and charges the delta to the
+// tenant that ran.
+//
+// Admission control: a bounded number of outstanding jobs overall and per
+// tenant. An over-capacity submit does bounded deterministic backoff —
+// each attempt the submitter helps drain the queues (runs up to 2^attempt
+// scheduling rounds as the combiner) instead of sleeping, so backoff makes
+// progress by construction; when the retry budget is exhausted with no
+// capacity the job is rejected, never dropped silently.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "obs/metrics.hpp"
+#include "scratchpad/machine.hpp"
+#include "server/tenant_arena.hpp"
+
+namespace tlm::server {
+
+// Everything a phase body may touch. Near memory goes through `arena`
+// (quota-checked); the machine reference is for instrumented operations,
+// parallel_for/run_spmd, and far allocation. Library code called from a
+// phase (sort::*, kmeans::*) allocates through the Machine as always — the
+// installed gate charges those allocations to the tenant transparently.
+struct JobContext {
+  Machine& machine;
+  TenantArena& arena;
+};
+
+struct JobPhase {
+  std::string name;
+  std::function<void(JobContext&)> fn;
+};
+
+struct JobSpec {
+  std::string tenant;
+  std::string name;
+  std::vector<JobPhase> phases;
+};
+
+enum class JobStatus : int {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,    // a phase threw; error() carries the message
+  kRejected,  // admission control turned it away
+};
+
+// Per-tenant observables, copyable snapshot (see JobServer::tenant_stats).
+struct TenantStats {
+  std::string tenant;
+  std::uint64_t quota_bytes = 0;
+  std::uint64_t admissions = 0;
+  std::uint64_t rejections = 0;
+  std::uint64_t backoff_stalls = 0;
+  std::uint64_t quota_denials = 0;
+  std::uint64_t high_water_bytes = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t phases_run = 0;
+  // Worst degradation-ladder level this tenant's phases drove any Stager
+  // to: 0 = double-buffered, 1 = single, 2 = direct-from-far.
+  int degrade_level = 0;
+  // Exact attribution of the shared machine's counters to this tenant
+  // (snapshot deltas around its serially-executed phases).
+  PhaseStats attributed;
+  StagerStats stager;
+  FaultStats faults;
+  // Host seconds each scheduled phase spent executing (service time, not
+  // queue wait) — informational; host timing jitters with the machine load.
+  std::vector<double> phase_seconds;
+  // Modeled seconds per phase (the analytic time model's deterministic
+  // answer) — the isolation gate's p99 input: a neighbor can only inflate
+  // it by actually changing where this tenant's data lives.
+  std::vector<double> phase_model_seconds;
+};
+
+class JobServer;
+
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  JobStatus status() const;
+  bool done() const { return status() == JobStatus::kDone; }
+  bool rejected() const { return status() == JobStatus::kRejected; }
+  // Message from the phase exception when status() == kFailed, else empty.
+  // Valid once the job is settled (done/failed/rejected).
+  std::string error() const;
+
+  // Blocks until the job settles. The calling thread helps drain the
+  // queues (combining) rather than sleeping while the server has work.
+  void wait();
+
+ private:
+  friend class JobServer;
+  struct State;
+  std::shared_ptr<State> st_;
+  JobServer* srv_ = nullptr;
+};
+
+class JobServer {
+ public:
+  struct Options {
+    std::size_t max_outstanding = 64;       // admitted, unfinished jobs
+    std::size_t max_queue_per_tenant = 32;  // ditto, per tenant
+    std::uint32_t admission_retry_budget = 16;  // backoff rounds then reject
+  };
+
+  explicit JobServer(Machine& m);  // default Options
+  JobServer(Machine& m, Options opt);
+  ~JobServer();  // drains outstanding work
+
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  Machine& machine() { return machine_; }
+
+  // Registers a tenant (name must be unique). The returned arena is owned
+  // by the server and stays valid for the server's lifetime.
+  TenantArena& add_tenant(const std::string& name, std::uint64_t quota_bytes);
+
+  // Admits or rejects `spec` (its tenant must be registered). Never blocks
+  // indefinitely: under overload it backs off by helping drain, and after
+  // `admission_retry_budget` attempts without capacity returns a handle in
+  // the kRejected state.
+  JobHandle submit(JobSpec spec);
+
+  // Runs scheduling rounds until every queue is empty. Under
+  // TLM_CHECK_MODEL also verifies tenant attribution conservation
+  // (model.tenant_attribution).
+  void drain();
+
+  // Snapshot of one tenant's counters and attribution.
+  TenantStats tenant_stats(const std::string& name) const;
+  std::vector<std::string> tenant_names() const;
+
+  // Emits tenant.<name>.* counters/gauges into `reg`. Call once per
+  // registry, like the obs export_stats overloads.
+  void export_metrics(obs::MetricsRegistry& reg) const;
+
+ private:
+  struct Tenant;
+  struct Work;
+
+  static bool settled(const std::shared_ptr<JobHandle::State>& st);
+  bool become_combiner();
+  // Lock-free-looking read for cv predicates that already hold mu_ through
+  // UniqueLock::native() — the analysis cannot see that, hence the opt-out.
+  bool combining_now() const TLM_NO_THREAD_SAFETY_ANALYSIS {
+    return combining_;
+  }
+  void wait_settled(const std::shared_ptr<JobHandle::State>& st);
+  friend class JobHandle;
+  // Runs up to `max_phases` phases as the combiner (caller must hold the
+  // role), releases the role, wakes waiters. Returns phases run.
+  std::size_t combine(std::size_t max_phases,
+                      const std::function<bool()>& stop);
+  bool pick_next_locked(Work& w) TLM_REQUIRES(mu_);
+  void execute(Work& w);
+  void finish_locked(Work& w) TLM_REQUIRES(mu_);
+  void check_attribution_locked() TLM_REQUIRES(mu_);
+
+  Machine& machine_;
+  Options opt_;
+
+  mutable Mutex mu_;
+  std::condition_variable cv_;
+  bool combining_ TLM_GUARDED_BY(mu_) = false;
+  std::size_t rr_ TLM_GUARDED_BY(mu_) = 0;  // round-robin tenant cursor
+  std::size_t outstanding_ TLM_GUARDED_BY(mu_) = 0;
+  std::vector<std::unique_ptr<Tenant>> tenants_ TLM_GUARDED_BY(mu_);
+
+  // Attribution bookkeeping (combiner-only, but mutated under mu_ in
+  // finish_locked): the machine totals as of the last bracketed phase, and
+  // traffic observed outside any tenant phase.
+  PhaseStats last_snapshot_ TLM_GUARDED_BY(mu_);
+  PhaseStats untenanted_ TLM_GUARDED_BY(mu_);
+};
+
+}  // namespace tlm::server

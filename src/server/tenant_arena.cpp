@@ -1,0 +1,108 @@
+#include "server/tenant_arena.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace tlm::server {
+
+TenantArena::TenantArena(Machine& m, std::string tenant,
+                         std::uint64_t quota_bytes)
+    : m_(m), tenant_(std::move(tenant)), quota_(quota_bytes) {
+  TLM_REQUIRE(quota_ <= m_.near_arena().capacity(),
+              "tenant quota exceeds the scratchpad capacity");
+}
+
+TenantArena::~TenantArena() { uninstall(); }
+
+void TenantArena::uninstall() {
+  if (m_.near_gate() == this) m_.set_near_gate(nullptr);
+}
+
+std::byte* TenantArena::try_alloc(std::uint64_t bytes, std::uint64_t align,
+                                  std::source_location loc) {
+  // Inside a scheduled phase the scheduler has already installed this gate,
+  // so worker threads take the fast path with no gate swapping. The swap
+  // path serves standalone use (tests, setup code) and is orchestrator-
+  // thread-only by contract — concurrent standalone callers would race on
+  // the restore.
+  if (m_.near_gate() == this) return m_.try_alloc_near(bytes, align, loc);
+  NearQuotaGate* prev = m_.near_gate();
+  m_.set_near_gate(this);
+  // tlm-lint: allow(unchecked-try-alloc): fallible pass-through to caller
+  std::byte* p = m_.try_alloc_near(bytes, align, loc);
+  m_.set_near_gate(prev);
+  return p;
+}
+
+std::byte* TenantArena::alloc_or_throw(std::uint64_t bytes,
+                                       std::uint64_t align,
+                                       std::source_location loc) {
+  std::byte* p = try_alloc(bytes, align, loc);
+  if (p) return p;
+  const std::uint64_t u = used_bytes();
+  throw ScratchpadError(kQuotaSite, bytes, quota_ > u ? quota_ - u : 0);
+}
+
+void TenantArena::dealloc(std::byte* p) {
+  // Near frees route through the Machine with this gate installed so the
+  // freed() credit fires even outside a scheduled phase.
+  if (m_.space_of(p) != Space::Near || m_.near_gate() == this) {
+    m_.dealloc(p);
+    return;
+  }
+  NearQuotaGate* prev = m_.near_gate();
+  m_.set_near_gate(this);
+  m_.dealloc(p);
+  m_.set_near_gate(prev);
+}
+
+bool TenantArena::admit(std::uint64_t bytes, const std::source_location&) {
+  const std::uint64_t u = used_.load(std::memory_order_relaxed);
+  if (u + bytes > quota_) {
+    denials_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  used_.store(u + bytes, std::memory_order_relaxed);
+  return true;
+}
+
+void TenantArena::granted(const void* p, std::uint64_t bytes) {
+  owned_.emplace(p, bytes);
+  grants_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t u = used_.load(std::memory_order_relaxed);
+  if (u > high_water_.load(std::memory_order_relaxed))
+    high_water_.store(u, std::memory_order_relaxed);
+}
+
+void TenantArena::refund(std::uint64_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void TenantArena::freed(const void* p, std::uint64_t /*block_bytes*/) {
+  // Credit what was charged at admit time, not the arena's (possibly
+  // padded) block length — the two must cancel exactly for the quota to
+  // return to zero when every allocation is released.
+  auto it = owned_.find(p);
+  if (it == owned_.end()) return;  // not ours: another tenant's pointer
+  used_.fetch_sub(it->second, std::memory_order_relaxed);
+  releases_.fetch_add(1, std::memory_order_relaxed);
+  owned_.erase(it);
+}
+
+void TenantArena::check_job_end([[maybe_unused]] const std::string& job) const {
+#if TLM_MODEL_CHECKS_ENABLED
+  const std::uint64_t u = used_bytes();
+  if (u == 0) return;
+  model_check_fail(
+      model_rule::kTenantLeak, job,
+      "tenant '" + tenant_ + "' still holds " + std::to_string(u) +
+          " quota-charged scratchpad bytes across " +
+          std::to_string(owned_.size()) +
+          " allocation(s) at job end; jobs must release every near "
+          "allocation before completing",
+      std::source_location::current());
+#endif
+}
+
+}  // namespace tlm::server

@@ -1,0 +1,142 @@
+// TenantArena — a per-tenant, quota-checked view of the shared scratchpad.
+//
+// The job server partitions the Machine's near memory between tenants by
+// budget, not by address range: every tenant allocates from the same
+// NearArena, but a TenantArena installed as the Machine's NearQuotaGate
+// charges each fallible near allocation against that tenant's quota first.
+// A tenant over budget sees try_alloc fail exactly as if the arena were
+// full, so the PR 5 degradation ladder (double → single buffering →
+// direct-from-far) becomes the per-tenant QoS mechanism for free: the
+// thrashing tenant's Stagers step down while its neighbors' allocations
+// keep succeeding against untouched arena space.
+//
+// Code under src/server must allocate near memory through this facade —
+// never through the Machine directly (tlm_lint's server-near-alloc rule).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <source_location>
+#include <span>
+#include <string>
+
+#include "common/faults.hpp"
+#include "scratchpad/machine.hpp"
+
+namespace tlm::server {
+
+// Site name reported by the throwing allocation path on quota exhaustion.
+inline constexpr const char* kQuotaSite = "server.tenant_quota";
+
+class TenantArena final : public NearQuotaGate {
+ public:
+  // `quota_bytes` is the tenant's near-memory budget. Zero is legal and
+  // means "far memory only": every quota-checked allocation is denied and
+  // the tenant runs fully degraded.
+  TenantArena(Machine& m, std::string tenant, std::uint64_t quota_bytes);
+  ~TenantArena() override;
+
+  TenantArena(const TenantArena&) = delete;
+  TenantArena& operator=(const TenantArena&) = delete;
+
+  // ---- quota-checked allocation (the only near path for server code) -----
+  // Fallible: nullptr when the quota, the arena, or an armed fault injector
+  // denies the request. Callers degrade, same contract as
+  // Machine::try_alloc_near.
+  std::byte* try_alloc(
+      std::uint64_t bytes, std::uint64_t align = 64,
+      std::source_location loc = std::source_location::current());
+
+  template <typename T>
+  std::span<T> try_alloc_array(
+      std::size_t n,
+      std::source_location loc = std::source_location::current()) {
+    auto* p =
+        try_alloc(n * sizeof(T), alignof(T) < 64 ? 64 : alignof(T), loc);
+    return p ? std::span<T>{reinterpret_cast<T*>(p), n} : std::span<T>{};
+  }
+
+  // Throwing variant for callers that treat quota exhaustion as an error:
+  // raises the typed ScratchpadError (site server.tenant_quota) carrying the
+  // requested size and the tenant's remaining budget.
+  std::byte* alloc_or_throw(
+      std::uint64_t bytes, std::uint64_t align = 64,
+      std::source_location loc = std::source_location::current());
+
+  // Infallible two-level allocation: near within quota, far otherwise.
+  template <typename T>
+  std::span<T> alloc_array_or_far(
+      std::size_t n,
+      std::source_location loc = std::source_location::current()) {
+    if (std::span<T> a = try_alloc_array<T>(n, loc); !a.empty()) return a;
+    return m_.alloc_array<T>(Space::Far, n, loc);
+  }
+
+  // Space-inferred free; near frees credit the quota via the gate protocol.
+  void dealloc(std::byte* p);
+  template <typename T>
+  void free_array(std::span<T> a) {
+    dealloc(reinterpret_cast<std::byte*>(a.data()));
+  }
+
+  // ---- gate lifecycle (the scheduler brackets each tenant phase) ---------
+  // While installed, every Machine::try_alloc_near — including ones made
+  // deep inside sort/kmeans/Stager code that has never heard of tenants —
+  // is charged against this tenant's budget.
+  void install() { m_.set_near_gate(this); }
+  void uninstall();
+  bool installed() const { return m_.near_gate() == this; }
+
+  // ---- observables (readable from any thread) ----------------------------
+  const std::string& tenant() const { return tenant_; }
+  std::uint64_t quota_bytes() const { return quota_; }
+  std::uint64_t used_bytes() const {
+    return used_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t high_water_bytes() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t quota_denials() const {
+    return denials_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t grants() const {
+    return grants_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t releases() const {
+    return releases_.load(std::memory_order_relaxed);
+  }
+
+  // ---- NearQuotaGate (called by the Machine under its alloc_mu_) ---------
+  bool admit(std::uint64_t bytes, const std::source_location& loc) override;
+  void granted(const void* p, std::uint64_t bytes) override;
+  void refund(std::uint64_t bytes) override;
+  void freed(const void* p, std::uint64_t bytes) override;
+
+  // Model-sanitizer hook, run by the scheduler when a tenant's job
+  // completes: quota-charged bytes still live at job end are a tenant leak
+  // (rule model.tenant_leak). A no-op outside TLM_CHECK_MODEL builds.
+  void check_job_end(const std::string& job) const;
+
+ private:
+  Machine& m_;
+  std::string tenant_;
+  std::uint64_t quota_;
+
+  // Charged bytes and counters. Every mutation happens under the Machine's
+  // alloc_mu_ (the gate callbacks run there; the standalone try_alloc path
+  // reaches them through Machine::try_alloc_near), so plain load/store pairs
+  // are race-free; atomics let the metrics exporter read without the lock.
+  std::atomic<std::uint64_t> used_{0};
+  std::atomic<std::uint64_t> high_water_{0};
+  std::atomic<std::uint64_t> denials_{0};
+  std::atomic<std::uint64_t> grants_{0};
+  std::atomic<std::uint64_t> releases_{0};
+
+  // Live quota-charged allocations: base pointer -> charged bytes. freed()
+  // consults it so frees of pointers this tenant never charged (another
+  // tenant's, or pre-server allocations) are ignored rather than credited.
+  std::map<const void*, std::uint64_t> owned_;
+};
+
+}  // namespace tlm::server

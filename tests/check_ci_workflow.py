@@ -53,6 +53,7 @@ def main():
         "chaos",
         "trace-replay",
         "racecheck",
+        "server-stress",
     ):
         if required not in jobs:
             fail(f"missing job: {required}")
@@ -74,7 +75,7 @@ def main():
     # rebuild dominates CI wall-clock otherwise.
     for job_name in ("build-test", "sanitizers", "flake-detect",
                      "model-check", "bench-smoke", "chaos", "trace-replay",
-                     "racecheck"):
+                     "racecheck", "server-stress"):
         jtext = steps_text(jobs[job_name])
         for needle in ("ccache", "actions/cache"):
             if needle not in jtext:
@@ -167,6 +168,20 @@ def main():
         if needle not in model:
             fail(f"model-check steps must mention '{needle}'")
 
+    # server-stress: the multi-tenant lane — the test_server suites plus the
+    # full-scale server_mixed isolation gate (bit-identical outputs, modeled
+    # p99 within 2x solo, thrasher contained); failures keep the run report.
+    ss = steps_text(jobs["server-stress"])
+    for needle in (
+        "-L test_server",
+        "server_mixed",
+        "--json",
+        "actions/upload-artifact",
+        "failure()",
+    ):
+        if needle not in ss:
+            fail(f"server-stress steps must mention '{needle}'")
+
     # bench-smoke: --json artifacts, schema validation, baseline diff,
     # artifact upload.
     smoke = steps_text(jobs["bench-smoke"])
@@ -182,6 +197,8 @@ def main():
         "bench/baselines/racecheck_quick.json",
         "sweep_omega",
         "bench/baselines/sweep_omega_quick.json",
+        "server_mixed",
+        "bench/baselines/server_quick.json",
         "--max-changed=0",
         "bench/baselines/table1_quick.json",
         "--warn-only",

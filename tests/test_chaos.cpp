@@ -10,6 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "analysis/experiment.hpp"
@@ -17,6 +20,8 @@
 #include "kmeans/kmeans.hpp"
 #include "obs/run_report.hpp"
 #include "scratchpad/machine.hpp"
+#include "server/job_server.hpp"
+#include "server/jobs.hpp"
 #include "sim/dma.hpp"
 #include "sim/memory.hpp"
 #include "sim/noc.hpp"
@@ -202,6 +207,59 @@ TEST(ChaosCounters, OmegaWritesChargedOncePerSuccessfulDmaTransfer) {
   // The omega-weighted transfer time is identical; only stall time grew.
   EXPECT_EQ(faulty.far_s, clean.far_s);
   EXPECT_GT(faulty.stall_s, clean.stall_s);
+}
+
+TEST(ChaosMultiTenant, ConcurrentTenantsBitIdenticalToSoloUnderMixedFaults) {
+  // Five tenants share one chaotic machine, one per sort backend, with
+  // deliberately uneven quotas (down to zero: far-only). Outputs must be
+  // bit-identical to the same jobs run solo on a clean, uncontended
+  // machine: neither neighbors, nor quota denials, nor injected faults may
+  // leak into results — they may only move data and change costs.
+  const std::size_t n = 60'000;
+  for (const std::uint64_t seed : {101ull, 202ull, 303ull}) {
+    std::array<std::vector<std::uint64_t>, 5> solo;
+    for (std::size_t i = 0; i < 5; ++i) {
+      Machine m(chaos_config());
+      server::JobServer srv(m);
+      srv.add_tenant("solo", m.near_arena().capacity());
+      auto res = std::make_shared<server::SortJobResult>();
+      srv.submit(server::make_sort_job("solo", "ref",
+                                       server::kSortBackends[i], n, seed,
+                                       res));
+      srv.drain();
+      ASSERT_TRUE(res->verified)
+          << server::to_string(server::kSortBackends[i]) << " seed " << seed;
+      solo[i] = std::move(res->output);
+    }
+
+    Machine m(chaos_config());
+    FaultInjector fi(seed);
+    arm_mixed_chaos(fi);
+    m.set_fault_injector(&fi);
+    server::JobServer srv(m);
+    const std::uint64_t cap = m.near_arena().capacity();
+    const std::uint64_t quotas[5] = {cap, cap / 2, cap / 8, 8 * KiB, 0};
+    std::array<std::shared_ptr<server::SortJobResult>, 5> results;
+    for (std::size_t i = 0; i < 5; ++i) {
+      const std::string tenant = "t" + std::to_string(i);
+      srv.add_tenant(tenant, quotas[i]);
+      results[i] = std::make_shared<server::SortJobResult>();
+      srv.submit(server::make_sort_job(tenant, "chaos",
+                                       server::kSortBackends[i], n, seed,
+                                       results[i]));
+    }
+    srv.drain();
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_TRUE(results[i]->verified)
+          << server::to_string(server::kSortBackends[i]) << " seed " << seed;
+      EXPECT_EQ(results[i]->output, solo[i])
+          << server::to_string(server::kSortBackends[i]) << " seed " << seed;
+    }
+    // The run must actually have been chaotic, and the zero-quota tenant
+    // must actually have been denied, or the differential proves nothing.
+    EXPECT_GT(m.fault_stats().near_alloc_injected, 0u) << "seed " << seed;
+    EXPECT_GT(srv.tenant_stats("t4").quota_denials, 0u) << "seed " << seed;
+  }
 }
 
 #if TLM_MODEL_CHECKS_ENABLED

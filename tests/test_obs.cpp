@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -13,6 +14,8 @@
 #include "obs/run_report.hpp"
 #include "scratchpad/counters.hpp"
 #include "scratchpad/machine.hpp"
+#include "server/job_server.hpp"
+#include "server/jobs.hpp"
 
 namespace tlm {
 namespace {
@@ -493,6 +496,76 @@ TEST(Diff, FaultKeysMissingFromCurrentAreToleratedToo) {
     improved |= e.improvement &&
                 e.path.find("retries.dma") != std::string::npos;
   EXPECT_TRUE(improved);
+}
+
+// ----------------------------------------------------- tenant counters
+
+// One tiny job through a real JobServer, exported the way bench/server_mixed
+// does it: the naming contract the round-trip and diff tests below pin.
+void tenant_metrics(obs::MetricsRegistry& reg) {
+  Machine m(test_config(4.0));
+  server::JobServer srv(m);
+  srv.add_tenant("alpha", 64 * 1024);
+  auto res = std::make_shared<server::SortJobResult>();
+  srv.submit(server::make_sort_job("alpha", "tiny",
+                                   server::SortBackend::kGnu, 2048, 11, res));
+  srv.drain();
+  EXPECT_TRUE(res->verified);
+  srv.export_metrics(reg);
+}
+
+TEST(RunReport, TenantCountersRoundTripThroughSchema) {
+  obs::MetricsRegistry reg;
+  tenant_metrics(reg);
+  obs::RunReport rep("server");
+  obs::RunRecord& rec = rep.add_run("mixed");
+  rec.add_metrics(reg);
+
+  const obs::RunReport back = obs::RunReport::from_json(rep.to_json());
+  ASSERT_EQ(back.runs.size(), 1u);
+  const auto& c = back.runs[0].counters;
+  EXPECT_EQ(c.at("tenant.alpha.quota_bytes"), 64u * 1024);
+  EXPECT_EQ(c.at("tenant.alpha.admissions"), 1u);
+  EXPECT_EQ(c.at("tenant.alpha.rejections"), 0u);
+  EXPECT_EQ(c.at("tenant.alpha.jobs_completed"), 1u);
+  EXPECT_EQ(c.at("tenant.alpha.phases"), 3u);
+  EXPECT_EQ(c.at("tenant.alpha.attributed_far_bytes"),
+            reg.counters().at("tenant.alpha.attributed_far_bytes"));
+  EXPECT_DOUBLE_EQ(back.runs[0].gauges.at("tenant.alpha.degrade_level"),
+                   0.0);
+}
+
+TEST(Diff, TenantLeavesAbsentFromOldBaselineAreAdditionsNotRegressions) {
+  // A baseline checked in before the job server existed, diffed against a
+  // current run that exports tenant.* counters: the new leaves are listed
+  // as additions — visible, but never counted as regressions, so old
+  // baselines keep gating the leaves they do have.
+  obs::RunReport a("bench"), b("bench");
+  a.add_run("mixed").counters["machine.far_read_bytes"] = 100;
+  obs::RunRecord& rb = b.add_run("mixed");
+  rb.counters["machine.far_read_bytes"] = 100;
+  obs::MetricsRegistry reg;
+  tenant_metrics(reg);
+  rb.add_metrics(reg);
+  const obs::DiffReport d = obs::diff_reports(a.to_json(), b.to_json());
+  EXPECT_FALSE(d.has_regression());
+  EXPECT_TRUE(d.missing_in_current.empty());
+  bool listed = false;
+  for (const auto& p : d.added_in_current)
+    listed |= p.find("tenant.alpha.admissions") != std::string::npos;
+  EXPECT_TRUE(listed);
+}
+
+TEST(Diff, RegressedTenantCounterGatesOnceBaselined) {
+  // Once both sides carry tenant counters they are ordinary cost leaves:
+  // a tenant suddenly burning more attributed far traffic is a regression
+  // like any other.
+  obs::RunReport a("bench"), b("bench");
+  a.add_run("mixed").counters["tenant.alpha.attributed_far_bytes"] = 1000;
+  b.add_run("mixed").counters["tenant.alpha.attributed_far_bytes"] = 2000;
+  const obs::DiffReport d = obs::diff_reports(a.to_json(), b.to_json());
+  EXPECT_TRUE(d.has_regression());
+  ASSERT_EQ(d.regressions(), 1u);
 }
 
 TEST(Diff, GoogleBenchmarkShapedJsonWorks) {

@@ -1,0 +1,501 @@
+// Multi-tenant job server: TenantArena quota accounting (edge cases at the
+// quota boundary), the Machine's NearQuotaGate hook, fair scheduling and
+// admission control in JobServer, per-tenant attribution conservation, and
+// the model-sanitizer tenant rules (death tests, TLM_CHECK_MODEL builds).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "kmeans/kmeans.hpp"
+#include "obs/metrics.hpp"
+#include "scratchpad/machine.hpp"
+#include "server/job_server.hpp"
+#include "server/jobs.hpp"
+#include "server/tenant_arena.hpp"
+
+namespace tlm {
+namespace {
+
+using server::JobServer;
+using server::JobSpec;
+using server::JobStatus;
+using server::SortBackend;
+using server::TenantArena;
+
+TwoLevelConfig server_config(std::size_t threads = 4) {
+  TwoLevelConfig cfg = test_config(4.0);
+  cfg.near_capacity = 256 * 1024;  // small scratchpad: quotas really bind
+  cfg.threads = threads;
+  cfg.overlap_dma = true;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// TenantArena quota edge cases
+
+TEST(TenantArenaQuota, ZeroByteQuotaDeniesEverything) {
+  Machine m(server_config(2));
+  TenantArena a(m, "broke", 0);
+  EXPECT_EQ(a.try_alloc(64), nullptr);
+  EXPECT_EQ(a.try_alloc(1), nullptr);
+  EXPECT_EQ(a.quota_denials(), 2u);
+  EXPECT_EQ(a.used_bytes(), 0u);
+  EXPECT_EQ(a.grants(), 0u);
+  // The arena itself was never touched — denial is a quota outcome, not
+  // capacity exhaustion.
+  EXPECT_EQ(m.fault_stats().near_alloc_exhausted, 0u);
+  EXPECT_EQ(m.near_arena().used(), 0u);
+}
+
+TEST(TenantArenaQuota, ExactFitAtQuotaBoundary) {
+  Machine m(server_config(2));
+  TenantArena a(m, "exact", 4096);
+  std::byte* p = a.try_alloc(4096);  // == quota: allowed (<=, not <)
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(a.used_bytes(), 4096u);
+  EXPECT_EQ(a.high_water_bytes(), 4096u);
+  EXPECT_EQ(a.try_alloc(1), nullptr);  // one byte over: denied
+  EXPECT_EQ(a.quota_denials(), 1u);
+  a.dealloc(p);
+  EXPECT_EQ(a.used_bytes(), 0u);
+  EXPECT_EQ(a.releases(), 1u);
+}
+
+TEST(TenantArenaQuota, ReleaseThenReallocAccounting) {
+  Machine m(server_config(2));
+  TenantArena a(m, "cycle", 8192);
+  std::byte* p = a.try_alloc(8192);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(a.try_alloc(64), nullptr);  // budget fully committed
+  a.dealloc(p);
+  std::byte* q = a.try_alloc(8192);  // freed budget is reusable in full
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(a.used_bytes(), 8192u);
+  EXPECT_EQ(a.grants(), 2u);
+  EXPECT_EQ(a.releases(), 1u);
+  EXPECT_EQ(a.quota_denials(), 1u);
+  a.dealloc(q);
+  EXPECT_EQ(a.used_bytes(), 0u);
+  EXPECT_EQ(a.high_water_bytes(), 8192u);
+}
+
+TEST(TenantArenaQuota, ThrowingPathCarriesTypedError) {
+  Machine m(server_config(2));
+  TenantArena a(m, "typed", 1024);
+  std::byte* p = a.alloc_or_throw(512);
+  ASSERT_NE(p, nullptr);
+  try {
+    a.alloc_or_throw(1024);
+    FAIL() << "expected ScratchpadError";
+  } catch (const ScratchpadError& e) {
+    EXPECT_EQ(e.site(), server::kQuotaSite);
+    EXPECT_EQ(e.requested_bytes(), 1024u);
+    EXPECT_EQ(e.available_bytes(), 512u);  // quota minus committed
+  }
+  a.dealloc(p);
+}
+
+TEST(TenantArenaQuota, QuotaAboveCapacityIsRejected) {
+  Machine m(server_config(2));
+  EXPECT_THROW(TenantArena(m, "greedy", m.near_arena().capacity() + 1),
+               std::invalid_argument);
+}
+
+TEST(TenantArenaQuota, ForeignFreesAreNotCredited) {
+  Machine m(server_config(2));
+  TenantArena a(m, "a", 8192);
+  TenantArena b(m, "b", 8192);
+  std::byte* pa = a.try_alloc(4096);
+  ASSERT_NE(pa, nullptr);
+  b.install();
+  // Freeing through a's facade credits a even while b's gate is installed —
+  // the facade routes the free through its own gate.
+  a.dealloc(pa);
+  EXPECT_EQ(a.used_bytes(), 0u);
+  EXPECT_EQ(b.used_bytes(), 0u);
+  EXPECT_EQ(b.releases(), 0u);
+  b.uninstall();
+  // A near pointer b's gate never granted is ignored by b's freed() hook.
+  std::byte* pb = b.try_alloc(1024);
+  ASSERT_NE(pb, nullptr);
+  std::byte* raw = m.alloc(Space::Near, 512);
+  b.install();
+  m.dealloc(Space::Near, raw);  // foreign: allocated gate-free
+  EXPECT_EQ(b.used_bytes(), 1024u);
+  b.uninstall();
+  b.dealloc(pb);
+  EXPECT_EQ(b.used_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The Machine-side gate hook
+
+TEST(NearQuotaGate, ChargesAllocationsMadeDeepInLibraryCode) {
+  Machine m(server_config(2));
+  TenantArena a(m, "deep", 16 * 1024);
+  a.install();
+  // Library code that has never heard of tenants allocates via the Machine;
+  // the installed gate charges it anyway.
+  std::byte* p = m.try_alloc_near(8 * 1024);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(a.used_bytes(), 8u * 1024);
+  // Over-quota while the arena still has plenty of space: the denial is the
+  // quota's, and it is not miscounted as arena exhaustion.
+  EXPECT_EQ(m.try_alloc_near(16 * 1024), nullptr);
+  EXPECT_GT(m.near_arena().free_bytes(), 16u * 1024);
+  EXPECT_EQ(m.fault_stats().near_alloc_exhausted, 0u);
+  EXPECT_EQ(a.quota_denials(), 1u);
+  m.dealloc(Space::Near, p);  // gate installed: credited back
+  EXPECT_EQ(a.used_bytes(), 0u);
+  a.uninstall();
+  EXPECT_EQ(m.near_gate(), nullptr);
+}
+
+TEST(NearQuotaGate, NearOrFarFallbackDegradesOverQuotaTenants) {
+  Machine m(server_config(2));
+  TenantArena a(m, "fallback", 0);
+  a.install();
+  auto span = m.alloc_array_near_or_far<std::uint64_t>(1024);
+  ASSERT_EQ(span.size(), 1024u);
+  EXPECT_EQ(m.space_of(span.data()), Space::Far);
+  EXPECT_EQ(m.fault_stats().near_far_fallbacks, 1u);
+  m.free_array(span);
+  a.uninstall();
+}
+
+TEST(NearQuotaGate, ArenaExhaustionAfterAdmitRefundsTheCharge) {
+  TwoLevelConfig cfg = server_config(2);
+  cfg.near_capacity = 64 * 1024;
+  Machine m(cfg);
+  // Quota equals capacity, so admit() passes but the arena itself can deny.
+  TenantArena a(m, "refund", 64 * 1024);
+  std::byte* big = m.alloc(Space::Near, 48 * 1024);
+  std::byte* p = a.try_alloc(32 * 1024);  // within quota, arena too full
+  EXPECT_EQ(p, nullptr);
+  EXPECT_EQ(m.fault_stats().near_alloc_exhausted, 1u);
+  EXPECT_EQ(a.used_bytes(), 0u) << "failed grant must refund the quota";
+  m.dealloc(Space::Near, big);
+}
+
+// ---------------------------------------------------------------------------
+// Machine::totals + phase_delta plumbing the attribution rides on
+
+TEST(MachineTotals, PhaseDeltaBracketsTraffic) {
+  Machine m(server_config(2));
+  std::vector<std::uint64_t> buf(1024);
+  m.adopt_far(buf.data(), buf.size() * sizeof(std::uint64_t));
+  const PhaseStats before = m.totals();
+  m.stream_read(0, buf.data(), 4096);
+  m.stream_write(0, buf.data(), 512);
+  const PhaseStats delta = phase_delta(m.totals(), before);
+  EXPECT_EQ(delta.far_read_bytes, 4096u);
+  EXPECT_EQ(delta.far_write_bytes, 512u);
+  EXPECT_EQ(delta.near_bytes(), 0u);
+  // Totals agree with the O(#phases) stats() view.
+  EXPECT_EQ(m.totals().far_bytes(), m.stats().total.far_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// JobServer scheduling, admission, attribution
+
+TEST(JobServerTest, RunsEverySortBackendVerified) {
+  Machine m(server_config());
+  JobServer srv(m);
+  srv.add_tenant("t", m.near_arena().capacity());
+  std::vector<std::shared_ptr<server::SortJobResult>> results;
+  std::vector<server::JobHandle> handles;
+  int i = 0;
+  for (SortBackend b : server::kSortBackends) {
+    auto res = std::make_shared<server::SortJobResult>();
+    results.push_back(res);
+    handles.push_back(srv.submit(server::make_sort_job(
+        "t", std::string("sort-") + server::to_string(b), b, 20000,
+        1234 + i++, res)));
+  }
+  srv.drain();
+  for (std::size_t j = 0; j < handles.size(); ++j) {
+    EXPECT_TRUE(handles[j].done());
+    EXPECT_TRUE(results[j]->verified)
+        << "backend " << server::to_string(server::kSortBackends[j]);
+  }
+  const auto st = srv.tenant_stats("t");
+  EXPECT_EQ(st.jobs_completed, 5u);
+  EXPECT_EQ(st.phases_run, 15u);  // gen/sort/check each
+  EXPECT_GT(st.attributed.far_bytes() + st.attributed.near_bytes(), 0u);
+}
+
+TEST(JobServerTest, KMeansJobBitIdenticalToSoloRun) {
+  const std::size_t n = 4000, dims = 4, k = 8;
+  const std::uint64_t seed = 99;
+  // Solo: a dedicated machine, no server, no quota.
+  kmeans::KMeansResult solo;
+  {
+    Machine m(server_config());
+    const auto pts = kmeans::make_blobs(n, dims, k, seed);
+    kmeans::KMeansOptions opt;
+    opt.k = k;
+    opt.dims = dims;
+    opt.seed = seed;
+    solo = kmeans::kmeans_staged(m, std::span<const double>(pts), opt);
+  }
+  Machine m(server_config());
+  JobServer srv(m);
+  srv.add_tenant("km", m.near_arena().capacity() / 2);
+  auto res = std::make_shared<server::KMeansJobResult>();
+  auto h = srv.submit(server::make_kmeans_job("km", "blobs", n, dims, k,
+                                              seed, res));
+  h.wait();
+  EXPECT_TRUE(h.done());
+  EXPECT_EQ(res->result.centroids, solo.centroids);
+  EXPECT_EQ(res->result.iterations, solo.iterations);
+  EXPECT_EQ(res->result.inertia, solo.inertia);
+}
+
+TEST(JobServerTest, ZeroRetryBudgetRejectsAtCapacity) {
+  Machine m(server_config(2));
+  JobServer::Options opt;
+  opt.max_outstanding = 1;
+  opt.max_queue_per_tenant = 1;
+  opt.admission_retry_budget = 0;  // no helping: reject on first miss
+  JobServer srv(m, opt);
+  srv.add_tenant("t", 64 * 1024);
+  auto r1 = std::make_shared<server::SortJobResult>();
+  auto r2 = std::make_shared<server::SortJobResult>();
+  auto h1 = srv.submit(
+      server::make_sort_job("t", "first", SortBackend::kGnu, 4096, 1, r1));
+  auto h2 = srv.submit(
+      server::make_sort_job("t", "second", SortBackend::kGnu, 4096, 2, r2));
+  EXPECT_TRUE(h2.rejected());
+  srv.drain();
+  EXPECT_TRUE(h1.done());
+  EXPECT_TRUE(r1->verified);
+  const auto st = srv.tenant_stats("t");
+  EXPECT_EQ(st.admissions, 1u);
+  EXPECT_EQ(st.rejections, 1u);
+  EXPECT_EQ(st.backoff_stalls, 1u);
+}
+
+TEST(JobServerTest, BackoffHelpsDrainInsteadOfRejecting) {
+  Machine m(server_config(2));
+  JobServer::Options opt;
+  opt.max_outstanding = 1;
+  opt.max_queue_per_tenant = 1;
+  opt.admission_retry_budget = 8;
+  JobServer srv(m, opt);
+  srv.add_tenant("t", 64 * 1024);
+  std::vector<std::shared_ptr<server::SortJobResult>> results;
+  std::vector<server::JobHandle> handles;
+  for (int j = 0; j < 4; ++j) {
+    auto res = std::make_shared<server::SortJobResult>();
+    results.push_back(res);
+    handles.push_back(srv.submit(server::make_sort_job(
+        "t", "job" + std::to_string(j), SortBackend::kNMsort, 8000,
+        10 + static_cast<std::uint64_t>(j), res)));
+  }
+  srv.drain();
+  for (auto& h : handles) EXPECT_TRUE(h.done());
+  for (auto& r : results) EXPECT_TRUE(r->verified);
+  const auto st = srv.tenant_stats("t");
+  EXPECT_EQ(st.rejections, 0u);
+  EXPECT_GT(st.backoff_stalls, 0u) << "overload should have been observed";
+}
+
+TEST(JobServerTest, FailedPhaseSettlesJobAndServerContinues) {
+  Machine m(server_config(2));
+  JobServer srv(m);
+  srv.add_tenant("t", 64 * 1024);
+  JobSpec bad;
+  bad.tenant = "t";
+  bad.name = "boom";
+  bad.phases.push_back({"explode", [](server::JobContext&) {
+                          throw std::runtime_error("boom");
+                        }});
+  auto hb = srv.submit(std::move(bad));
+  auto res = std::make_shared<server::SortJobResult>();
+  auto hg = srv.submit(
+      server::make_sort_job("t", "after", SortBackend::kGnu, 4096, 3, res));
+  srv.drain();
+  EXPECT_EQ(hb.status(), JobStatus::kFailed);
+  EXPECT_NE(hb.error().find("boom"), std::string::npos);
+  EXPECT_TRUE(hg.done());
+  EXPECT_TRUE(res->verified);
+  EXPECT_EQ(srv.tenant_stats("t").jobs_failed, 1u);
+}
+
+TEST(JobServerTest, SubmitToUnregisteredTenantThrows) {
+  Machine m(server_config(2));
+  JobServer srv(m);
+  srv.add_tenant("known", 1024);
+  JobSpec spec;
+  spec.tenant = "unknown";
+  spec.name = "x";
+  EXPECT_THROW(srv.submit(std::move(spec)), std::invalid_argument);
+  EXPECT_THROW(srv.add_tenant("known", 2048), std::invalid_argument);
+}
+
+TEST(JobServerTest, AttributionConservesMachineTotals) {
+  Machine m(server_config());
+  JobServer srv(m);
+  srv.add_tenant("a", m.near_arena().capacity() / 2);
+  srv.add_tenant("b", m.near_arena().capacity() / 2);
+  std::vector<std::shared_ptr<server::SortJobResult>> results;
+  for (int j = 0; j < 3; ++j) {
+    for (const char* t : {"a", "b"}) {
+      auto res = std::make_shared<server::SortJobResult>();
+      results.push_back(res);
+      srv.submit(server::make_sort_job(
+          t, "job" + std::to_string(j), SortBackend::kScratchpadPar, 10000,
+          100 + static_cast<std::uint64_t>(j), res));
+    }
+  }
+  srv.drain();
+  // Every byte the machine counted ran inside some tenant's phase, so the
+  // per-tenant attribution must sum back to the machine totals exactly.
+  const auto sa = srv.tenant_stats("a");
+  const auto sb = srv.tenant_stats("b");
+  const PhaseStats grand = m.totals();
+  EXPECT_EQ(sa.attributed.far_read_bytes + sb.attributed.far_read_bytes,
+            grand.far_read_bytes);
+  EXPECT_EQ(sa.attributed.far_write_bytes + sb.attributed.far_write_bytes,
+            grand.far_write_bytes);
+  EXPECT_EQ(sa.attributed.near_read_bytes + sb.attributed.near_read_bytes,
+            grand.near_read_bytes);
+  EXPECT_EQ(sa.attributed.near_write_bytes + sb.attributed.near_write_bytes,
+            grand.near_write_bytes);
+  EXPECT_EQ(sa.attributed.far_bursts + sb.attributed.far_bursts,
+            grand.far_bursts);
+  EXPECT_EQ(sa.phases_run + sb.phases_run, 18u);
+  // Both tenants did comparable work under round-robin scheduling.
+  EXPECT_GT(sa.attributed.far_bytes(), 0u);
+  EXPECT_GT(sb.attributed.far_bytes(), 0u);
+}
+
+TEST(JobServerTest, ThrashingTenantDegradesItselfNotNeighbors) {
+  Machine m(server_config());
+  JobServer srv(m);
+  srv.add_tenant("good", m.near_arena().capacity());
+  srv.add_tenant("thrash", 2048);  // near-zero budget: everything degrades
+  std::vector<std::shared_ptr<server::SortJobResult>> results;
+  std::vector<server::JobHandle> handles;
+  for (int j = 0; j < 2; ++j) {
+    for (const char* t : {"good", "thrash"}) {
+      auto res = std::make_shared<server::SortJobResult>();
+      results.push_back(res);
+      handles.push_back(srv.submit(server::make_sort_job(
+          t, "job" + std::to_string(j), SortBackend::kNMsort, 16000,
+          7 + static_cast<std::uint64_t>(j), res)));
+    }
+  }
+  srv.drain();
+  for (std::size_t j = 0; j < handles.size(); ++j) {
+    EXPECT_TRUE(handles[j].done());
+    EXPECT_TRUE(results[j]->verified) << "job " << j;
+  }
+  const auto good = srv.tenant_stats("good");
+  const auto thrash = srv.tenant_stats("thrash");
+  EXPECT_GT(thrash.quota_denials, 0u);
+  EXPECT_GT(thrash.degrade_level, 0) << "tiny quota must step the ladder";
+  EXPECT_EQ(good.quota_denials, 0u)
+      << "full-capacity tenant must never be denied by a neighbor";
+  EXPECT_EQ(good.degrade_level, 0);
+}
+
+TEST(JobServerTest, ExportsTenantMetrics) {
+  Machine m(server_config(2));
+  JobServer srv(m);
+  srv.add_tenant("exp", 32 * 1024);
+  auto res = std::make_shared<server::SortJobResult>();
+  srv.submit(
+      server::make_sort_job("exp", "one", SortBackend::kGnu, 4096, 5, res));
+  srv.drain();
+  obs::MetricsRegistry reg;
+  srv.export_metrics(reg);
+  const auto counters = reg.counters();
+  EXPECT_EQ(counters.at("tenant.exp.quota_bytes"), 32u * 1024);
+  EXPECT_EQ(counters.at("tenant.exp.admissions"), 1u);
+  EXPECT_EQ(counters.at("tenant.exp.rejections"), 0u);
+  EXPECT_EQ(counters.at("tenant.exp.jobs_completed"), 1u);
+  EXPECT_EQ(counters.at("tenant.exp.phases"), 3u);
+  EXPECT_GT(counters.at("tenant.exp.attributed_far_bytes"), 0u);
+  const auto gauges = reg.gauges();
+  EXPECT_EQ(gauges.at("tenant.exp.degrade_level"), 0.0);
+}
+
+// Cross-thread combining: several client threads submit and wait against
+// one server; the combiner role hands off through the server mutex. (The
+// submitters are a ThreadPool — raw std::thread is lint-banned.)
+TEST(JobServerThreaded, ConcurrentSubmittersAllComplete) {
+  Machine m(server_config(2));
+  JobServer::Options opt;
+  opt.max_outstanding = 4;  // small enough that backoff paths run
+  opt.max_queue_per_tenant = 2;
+  opt.admission_retry_budget = 64;
+  JobServer srv(m, opt);
+  constexpr std::size_t kClients = 4;
+  for (std::size_t t = 0; t < kClients; ++t)
+    srv.add_tenant("c" + std::to_string(t),
+                   m.near_arena().capacity() / kClients);
+  std::array<std::vector<std::shared_ptr<server::SortJobResult>>, kClients>
+      results;
+  std::array<bool, kClients> all_done{};
+  ThreadPool clients(kClients);
+  clients.run_spmd([&](std::size_t w) {
+    bool ok = true;
+    for (int j = 0; j < 3; ++j) {
+      auto res = std::make_shared<server::SortJobResult>();
+      results[w].push_back(res);
+      auto h = srv.submit(server::make_sort_job(
+          "c" + std::to_string(w), "job" + std::to_string(j),
+          server::kSortBackends[(w + static_cast<std::size_t>(j)) % 5], 6000,
+          1000 + w * 10 + static_cast<std::uint64_t>(j), res));
+      h.wait();
+      ok = ok && h.done();
+    }
+    all_done[w] = ok;
+  });
+  srv.drain();
+  for (std::size_t w = 0; w < kClients; ++w) {
+    EXPECT_TRUE(all_done[w]) << "client " << w;
+    for (const auto& r : results[w]) EXPECT_TRUE(r->verified);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Model-sanitizer tenant rules (compiled only under TLM_CHECK_MODEL)
+
+#if TLM_MODEL_CHECKS_ENABLED
+
+TEST(TenantModelCheckDeath, LeakPastBudgetAbortsAtJobEnd) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Machine m(server_config(2));
+        JobServer srv(m);
+        srv.add_tenant("leaky", 64 * 1024);
+        JobSpec spec;
+        spec.tenant = "leaky";
+        spec.name = "leak";
+        spec.phases.push_back({"grab", [](server::JobContext& ctx) {
+                                 std::byte* p = ctx.arena.try_alloc(4096);
+                                 ASSERT_NE(p, nullptr);
+                                 // Survives the machine's phase-leak check…
+                                 ctx.machine.retain_across_phases(p);
+                                 // …but is never freed: a tenant leak.
+                               }});
+        srv.submit(std::move(spec));
+        srv.drain();
+      },
+      "model\\.tenant_leak");
+}
+
+#endif  // TLM_MODEL_CHECKS_ENABLED
+
+}  // namespace
+}  // namespace tlm
