@@ -27,10 +27,25 @@
 // waves) so thousands of jobs stream through bounded memory; within a
 // wave the fair round-robin scheduler interleaves all tenants.
 //
+// Two lifecycle waves extend the gate (same hard exit code):
+//
+//   deadline     under seeded server.slow_phase chaos (10 modeled-second
+//                stalls at p=0.2) every job carries a --deadline-ms budget.
+//                Stalled jobs must expire deterministically — the wave runs
+//                twice and must settle every job identically — unstalled
+//                jobs' outputs stay bit-identical to solo, and every
+//                expiry refunds its tenant's quota charge in full;
+//   shutdown     a loaded server shut down with kDrain completes every
+//                admitted job (outputs bit-identical to solo, zero quota
+//                bytes leaked), and a queued backlog shut down with kAbort
+//                settles every job kCancelled with the quota untouched.
+//
 // With `--json <path>` writes a tlm.run_report whose mixed-run record
-// carries the tenant.* counters. Everything exported is deterministic
-// (serial phase execution; fixed seeds): host latencies are deliberately
-// kept out of the report so the checked-in baseline diff stays quiet.
+// carries the tenant.* counters and whose deadline_chaos record carries
+// the cancel.* / deadline.* / retry.* lifecycle counters. Everything
+// exported is deterministic (serial phase execution; fixed seeds; modeled
+// deadlines): host latencies are deliberately kept out of the report so
+// the checked-in baseline diff stays quiet.
 #include <algorithm>
 #include <cstdint>
 #include <iostream>
@@ -39,12 +54,14 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/faults.hpp"
 #include "common/table.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
 #include "scratchpad/machine.hpp"
 #include "server/job_server.hpp"
 #include "server/jobs.hpp"
+#include "server/tenant_arena.hpp"
 
 namespace tlm {
 namespace {
@@ -168,6 +185,147 @@ TenantOutcome run_solo(const MixParams& p, const std::string& tenant,
   srv.drain();
   out.stats = srv.tenant_stats(tenant);
   out.wall_s = wall.seconds();
+  return out;
+}
+
+// ---- lifecycle waves -----------------------------------------------------
+
+struct DeadlineOutcome {
+  // One entry per submitted job in submission order — the determinism gate
+  // compares two independent runs of the wave element-wise.
+  std::vector<int> statuses;
+  std::size_t expired = 0;
+  std::size_t completed = 0;
+  bool hashes_match = true;   // completed jobs vs the solo baseline
+  bool statuses_legal = true; // nothing settled outside {done, expired}
+  std::uint64_t leaked = 0;   // quota bytes still charged after drain
+  server::JobServer::LifecycleStats ls;
+};
+
+// One wave of mixed jobs per tenant under seeded server.slow_phase chaos:
+// 10 modeled-second stalls at p=0.2 against a --deadline-ms budget that
+// ordinary jobs undercut by orders of magnitude, so exactly the stalled
+// phases expire — deterministically, because expiry is measured in modeled
+// seconds and the injector is a pure function of (seed, site, occurrence).
+DeadlineOutcome run_deadline_wave(const MixParams& p,
+                                  const std::vector<TenantOutcome>& solo,
+                                  double deadline_s, std::size_t jobs,
+                                  obs::RunRecord* rec) {
+  DeadlineOutcome out;
+  Machine m(mix_config(p));
+  FaultInjector fi(p.seed);
+  fi.arm(fault_site::kServerSlowPhase, FaultSchedule::prob(0.2, 10.0));
+  m.set_fault_injector(&fi);
+  server::JobServer srv(m, server_options(p));
+  std::vector<server::TenantArena*> arenas;
+  for (std::size_t i = 0; i < p.tenants; ++i)
+    arenas.push_back(
+        &srv.add_tenant("t" + std::to_string(i), mix_config(p).near_capacity));
+  std::vector<std::vector<JobResults>> results(jobs);
+  for (std::size_t idx = 0; idx < jobs; ++idx) {
+    results[idx].resize(p.tenants);
+    std::vector<server::JobHandle> handles;
+    for (std::size_t i = 0; i < p.tenants; ++i) {
+      server::JobSpec spec = make_mixed_job(p, "t" + std::to_string(i), i,
+                                            idx, results[idx][i]);
+      spec.deadline_model_s = deadline_s;
+      handles.push_back(srv.submit(std::move(spec)));
+    }
+    srv.drain();
+    for (std::size_t i = 0; i < p.tenants; ++i) {
+      server::JobHandle& h = handles[i];
+      out.statuses.push_back(static_cast<int>(h.status()));
+      if (h.done()) {
+        ++out.completed;
+        bool ok = true;
+        const std::uint64_t hash = hash_results(results[idx][i], &ok);
+        if (!ok || hash != solo[i].hashes[idx]) out.hashes_match = false;
+      } else if (h.deadline_exceeded()) {
+        ++out.expired;
+      } else {
+        out.statuses_legal = false;
+      }
+    }
+  }
+  for (server::TenantArena* a : arenas) out.leaked += a->used_bytes();
+  out.ls = srv.lifecycle_stats();
+  if (rec) {
+    obs::MetricsRegistry reg;
+    srv.export_metrics(reg);
+    rec->add_metrics(reg);
+  }
+  return out;
+}
+
+struct ShutdownOutcome {
+  bool drain_completed = true;  // kDrain finished every admitted job
+  bool drain_identical = true;  // ... with outputs bit-identical to solo
+  bool abort_cancelled = true;  // kAbort settled every queued job kCancelled
+  std::uint64_t shutdown_cancelled = 0;
+  std::uint64_t leaked = 0;  // quota bytes leaked across both variants
+};
+
+ShutdownOutcome run_shutdown_wave(const MixParams& p,
+                                  const std::vector<TenantOutcome>& solo,
+                                  std::size_t jobs) {
+  ShutdownOutcome out;
+  // kDrain under load: submit a full backlog (deliberately past the
+  // admission cap, so backoff help-drain is live when the plug is pulled),
+  // then shut down and require every admitted job to finish untouched.
+  {
+    Machine m(mix_config(p));
+    server::JobServer srv(m, server_options(p));
+    std::vector<server::TenantArena*> arenas;
+    for (std::size_t i = 0; i < p.tenants; ++i)
+      arenas.push_back(&srv.add_tenant("t" + std::to_string(i),
+                                       mix_config(p).near_capacity));
+    std::vector<std::vector<JobResults>> results(jobs);
+    std::vector<server::JobHandle> handles;
+    std::vector<std::pair<std::size_t, std::size_t>> coords;  // (idx, tenant)
+    for (std::size_t idx = 0; idx < jobs; ++idx) {
+      results[idx].resize(p.tenants);
+      for (std::size_t i = 0; i < p.tenants; ++i) {
+        handles.push_back(srv.submit(make_mixed_job(
+            p, "t" + std::to_string(i), i, idx, results[idx][i])));
+        coords.emplace_back(idx, i);
+      }
+    }
+    srv.shutdown(server::JobServer::ShutdownMode::kDrain);
+    for (std::size_t j = 0; j < handles.size(); ++j) {
+      const auto [idx, i] = coords[j];
+      if (!handles[j].done()) {
+        out.drain_completed = false;
+        continue;
+      }
+      bool ok = true;
+      const std::uint64_t hash = hash_results(results[idx][i], &ok);
+      if (!ok || hash != solo[i].hashes[idx]) out.drain_identical = false;
+    }
+    for (server::TenantArena* a : arenas) out.leaked += a->used_bytes();
+  }
+  // kAbort on a queued backlog: stay under the admission cap so nothing has
+  // run yet, then abort — every job must settle kCancelled with the quota
+  // untouched and the cancellations attributed to shutdown.
+  {
+    Machine m(mix_config(p));
+    const server::JobServer::Options opt = server_options(p);
+    server::JobServer srv(m, opt);
+    std::vector<server::TenantArena*> arenas;
+    for (std::size_t i = 0; i < p.tenants; ++i)
+      arenas.push_back(&srv.add_tenant("t" + std::to_string(i),
+                                       mix_config(p).near_capacity));
+    const std::size_t backlog = std::min(p.tenants, opt.max_outstanding);
+    std::vector<server::JobHandle> handles;
+    std::vector<JobResults> results(backlog);
+    for (std::size_t i = 0; i < backlog; ++i)
+      handles.push_back(srv.submit(
+          make_mixed_job(p, "t" + std::to_string(i), i, 0, results[i])));
+    srv.shutdown(server::JobServer::ShutdownMode::kAbort);
+    for (auto& h : handles)
+      if (!h.cancelled()) out.abort_cancelled = false;
+    out.shutdown_cancelled = srv.lifecycle_stats().shutdown_cancelled;
+    for (server::TenantArena* a : arenas) out.leaked += a->used_bytes();
+  }
   return out;
 }
 
@@ -324,15 +482,61 @@ int run(const bench::Flags& flags) {
   report.params["kmeans_n"] = static_cast<std::uint64_t>(p.kmeans_n);
   report.params["cores"] = static_cast<std::uint64_t>(p.cores);
   report.params["seed"] = p.seed;
+  report.params["deadline_ms"] = flags.u64("--deadline-ms", 1000);
   obs::RunRecord& rec = report.add_run("mixed");
   rec.set_config(cfg);
   obs::MetricsRegistry reg;
   srv.export_metrics(reg);
   rec.add_metrics(reg);
+
+  // ---- deadline-chaos wave ----------------------------------------------
+  const double deadline_s = flags.f64("--deadline-ms", 1000.0) / 1e3;
+  const std::size_t dl_jobs =
+      std::min<std::size_t>(p.jobs, quick ? 4 : 8);
+  DeadlineOutcome d1 =
+      run_deadline_wave(p, solo, deadline_s, dl_jobs, nullptr);
+  obs::RunRecord& dl_rec = report.add_run("deadline_chaos");
+  dl_rec.set_config(cfg);
+  DeadlineOutcome d2 =
+      run_deadline_wave(p, solo, deadline_s, dl_jobs, &dl_rec);
+  const bool deadline_det =
+      d1.statuses == d2.statuses && d1.expired == d2.expired &&
+      d1.ls.deadline_expired == d2.ls.deadline_expired &&
+      d1.ls.reclaimed_bytes == d2.ls.reclaimed_bytes;
+  const bool deadline_ok = d2.expired > 0 && d2.completed > 0 &&
+                           d2.hashes_match && d2.statuses_legal &&
+                           d2.leaked == 0 && deadline_det;
+  std::cout << "deadline chaos: " << d2.expired << "/" << d2.statuses.size()
+            << " jobs expired under " << Table::num(deadline_s * 1e3, 0)
+            << "ms modeled budget, " << d2.completed << " completed\n";
+  std::cout << "shape: deadline expiry deterministic across reruns: "
+            << (deadline_det ? "yes" : "NO") << "\n";
+  std::cout << "shape: deadline survivors bit-identical, quota refunded: "
+            << (d2.hashes_match && d2.statuses_legal && d2.leaked == 0
+                    ? "yes"
+                    : "NO")
+            << "\n";
+
+  // ---- shutdown-under-load wave -----------------------------------------
+  ShutdownOutcome sd = run_shutdown_wave(p, solo, std::min<std::size_t>(p.jobs, 3));
+  const bool shutdown_ok = sd.drain_completed && sd.drain_identical &&
+                           sd.abort_cancelled && sd.shutdown_cancelled > 0 &&
+                           sd.leaked == 0;
+  std::cout << "shape: drain shutdown completes all jobs bit-identically: "
+            << (sd.drain_completed && sd.drain_identical ? "yes" : "NO")
+            << "\n";
+  std::cout << "shape: abort shutdown cancels backlog, zero bytes leaked: "
+            << (sd.abort_cancelled && sd.shutdown_cancelled > 0 &&
+                        sd.leaked == 0
+                    ? "yes"
+                    : "NO")
+            << "\n";
+
   bench::write_report_if_requested(flags, report, wall);
 
   const bool pass = all_ok && identical && isolated && contained &&
-                    throughput_ok && overload_seen && rejections == 0;
+                    throughput_ok && overload_seen && rejections == 0 &&
+                    deadline_ok && shutdown_ok;
   std::cout << (pass ? "PASS" : "FAIL") << "\n";
   return pass ? 0 : 1;
 }

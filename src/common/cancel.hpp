@@ -1,0 +1,127 @@
+// Cooperative cancellation for the job lifecycle layer.
+//
+// A CancelToken is the one-way "stop now" channel between whoever owns a
+// job (the server's scheduler, a JobHandle holder, the shutdown path, the
+// watchdog) and the phase body running it. Requests are sticky and
+// first-writer-wins: once a reason is recorded it never changes, so a user
+// cancel racing the watchdog settles with one unambiguous cause.
+//
+// Delivery is cooperative: nothing is preempted. Machine::poll_cancel()
+// reads the installed token at *checkpoints* — quiescent, orchestrator-side
+// points (the top of every Stager batch iteration, the phase entry/exit
+// brackets) where no DMA transfer is in flight and every worker is parked —
+// and throws CancelledError when a request is pending or a budget has run
+// out. Unwinding therefore rides the normal destructor + tenant-refund
+// paths instead of tearing down mid-transfer; a phase that never reaches a
+// checkpoint (a checkpoint-free infinite loop) cannot be stopped, which is
+// a stated blind spot in DESIGN.md §15.
+//
+// Two budgets, armed per phase:
+//   * model_budget_s — compared against the open phase's *modeled* seconds.
+//     Modeled time is a pure function of counters and the seeded fault
+//     schedule, so deadline expiry is deterministic and replayable.
+//   * wall_budget_s — host time since arming; the watchdog of last resort
+//     for phases that are genuinely hung (wedged DMA engine, runaway host
+//     loop between checkpoints). Inherently nondeterministic; off by
+//     default.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace tlm {
+
+enum class CancelReason : int {
+  kNone = 0,
+  kCancelled = 1,  // explicit JobHandle::cancel()
+  kShutdown = 2,   // JobServer::shutdown(kAbort) swept the queue
+  kDeadline = 3,   // modeled-seconds budget exhausted (deterministic)
+  kWatchdog = 4,   // wall-clock budget exhausted (host time, last resort)
+};
+
+inline const char* to_string(CancelReason r) {
+  switch (r) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kCancelled:
+      return "cancelled";
+    case CancelReason::kShutdown:
+      return "shutdown";
+    case CancelReason::kDeadline:
+      return "deadline";
+    case CancelReason::kWatchdog:
+      return "watchdog";
+  }
+  return "unknown";
+}
+
+// Thrown from a checkpoint to unwind the phase body. Derives
+// std::runtime_error (not bad_alloc) so fault-retry catch sites never
+// mistake a cancellation for a capacity problem.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(CancelReason r)
+      : std::runtime_error(std::string("phase cancelled: ") + to_string(r)),
+        reason_(r) {}
+  CancelReason reason() const { return reason_; }
+
+ private:
+  CancelReason reason_;
+};
+
+class CancelToken {
+ public:
+  // Records `r` as the cancellation cause; first writer wins. Returns true
+  // when this call was the one that set it. Callable from any thread.
+  bool request(CancelReason r) {
+    int expected = static_cast<int>(CancelReason::kNone);
+    return reason_.compare_exchange_strong(expected, static_cast<int>(r),
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire);
+  }
+  CancelReason requested() const {
+    return static_cast<CancelReason>(reason_.load(std::memory_order_acquire));
+  }
+
+  // Budgets for the phase about to run; 0 disables the respective check.
+  // The wall budget's clock starts now.
+  void arm_phase(double model_budget_s, double wall_budget_s) {
+    model_budget_.store(model_budget_s, std::memory_order_relaxed);
+    wall_budget_.store(wall_budget_s, std::memory_order_relaxed);
+    armed_ns_.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now().time_since_epoch())
+                        .count(),
+                    std::memory_order_relaxed);
+  }
+  void disarm() {
+    model_budget_.store(0, std::memory_order_relaxed);
+    wall_budget_.store(0, std::memory_order_relaxed);
+  }
+
+  double model_budget_s() const {
+    return model_budget_.load(std::memory_order_relaxed);
+  }
+  double wall_budget_s() const {
+    return wall_budget_.load(std::memory_order_relaxed);
+  }
+  double wall_elapsed_s() const {
+    const std::int64_t now =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    return static_cast<double>(now -
+                               armed_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+
+ private:
+  std::atomic<int> reason_{static_cast<int>(CancelReason::kNone)};
+  std::atomic<double> model_budget_{0};
+  std::atomic<double> wall_budget_{0};
+  std::atomic<std::int64_t> armed_ns_{0};
+};
+
+}  // namespace tlm

@@ -16,6 +16,13 @@
 //   sim.dma.fail         a DmaEngine line read fails and is re-issued
 //   sim.dma.stall        a DmaEngine descriptor is delayed before issue
 //   sim.far.stall        a FarMemory request is delayed before service
+//   server.slow_phase    the job server charges the schedule's stall_seconds
+//                        to the phase's *modeled* time at phase start, so a
+//                        seeded schedule makes modeled-deadline expiry
+//                        deterministic and replayable
+//   server.stuck_dma     the job server burns stall_seconds of *host* time
+//                        at phase start (a wedged engine the model cannot
+//                        see), which only the wall-clock watchdog catches
 //
 // Decisions are a pure function of (seed, site, occurrence#): the same
 // schedule on the same seed fires at exactly the same points in every run,
@@ -68,6 +75,8 @@ inline constexpr const char* kFarStall = "machine.far.stall";
 inline constexpr const char* kSimDmaFail = "sim.dma.fail";
 inline constexpr const char* kSimDmaStall = "sim.dma.stall";
 inline constexpr const char* kSimFarStall = "sim.far.stall";
+inline constexpr const char* kServerSlowPhase = "server.slow_phase";
+inline constexpr const char* kServerStuckDma = "server.stuck_dma";
 }  // namespace fault_site
 
 // Unrecoverable fault outcomes (analogous to model_rule for the sanitizer).

@@ -111,6 +111,33 @@ FaultStats Machine::fault_stats() const {
   return fault_stats_;
 }
 
+void Machine::poll_cancel() {
+  CancelToken* t = cancel_;
+  if (t == nullptr) return;
+  if (t->requested() != CancelReason::kNone) throw CancelledError(t->requested());
+  const double wall = t->wall_budget_s();
+  if (wall > 0 && t->wall_elapsed_s() > wall) {
+    t->request(CancelReason::kWatchdog);
+    throw CancelledError(t->requested());
+  }
+  const double budget = t->model_budget_s();
+  if (budget > 0) {
+    PhaseStats open;
+    fold_open_phase(open);
+    if (open.seconds > budget) {
+      t->request(CancelReason::kDeadline);
+      throw CancelledError(t->requested());
+    }
+  }
+}
+
+void Machine::charge_stall(std::size_t thread, double seconds) {
+  if (seconds <= 0) return;
+  acc_[thread].stall += seconds;
+  MutexLock lock(alloc_mu_);
+  fault_stats_.stall_s += seconds;
+}
+
 void Machine::set_near_gate(NearQuotaGate* g) {
   MutexLock lock(alloc_mu_);
   gate_ = g;

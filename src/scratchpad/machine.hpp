@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/faults.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
@@ -151,6 +152,30 @@ class Machine {
   NearQuotaGate* near_gate() const;
   // Machine-lifetime fault/retry/fallback accounting.
   FaultStats fault_stats() const;
+
+  // Installs (or clears, with nullptr) the cooperative cancellation token
+  // consulted by poll_cancel(). Orchestrator-swapped around scheduled
+  // phases like the quota gate; not owned. Same single-writer discipline as
+  // set_fault_injector: swaps happen only between phases, on the thread
+  // that runs them.
+  void set_cancel_token(CancelToken* t) { cancel_ = t; }
+  CancelToken* cancel_token() const { return cancel_; }
+
+  // Cooperative cancellation checkpoint. Must be called from quiescent
+  // orchestrator-side points only (Stager batch boundaries, the job
+  // server's phase brackets): a positive answer throws CancelledError
+  // through the caller, so no DMA transfer may be in flight and no worker
+  // may be mid-section. Checks, in order: an already-requested
+  // cancellation, the wall-clock watchdog, and the open phase's modeled
+  // seconds against the armed deadline budget. A no-op when no token is
+  // installed, so library code may call it unconditionally.
+  void poll_cancel();
+
+  // Charges an injected stall to `thread`'s accumulator and the fault
+  // totals, extending the open phase's modeled time exactly like a
+  // far-stall fire. The job server routes server.slow_phase through this so
+  // seeded chaos advances the deterministic deadline clock.
+  void charge_stall(std::size_t thread, double seconds);
 
   // Declares that a live near allocation intentionally spans explicit
   // phases (e.g. NMsort's BucketTot matrix is "scratchpad-resident
@@ -310,6 +335,10 @@ class Machine {
   // default) keeps every fault hook a single predictable branch.
   FaultInjector* fi_ = nullptr;
   FaultStats fault_stats_ TLM_GUARDED_BY(alloc_mu_);
+
+  // Cancellation token: read only by poll_cancel() on the thread that also
+  // installs it (the phase orchestrator), so a plain pointer suffices.
+  CancelToken* cancel_ = nullptr;
 
   // Tenant quota gate: consulted in try_alloc_near and credited in the near
   // dealloc path, both of which already hold alloc_mu_, so gate swaps and

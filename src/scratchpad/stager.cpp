@@ -97,6 +97,9 @@ void Stager::run(std::span<const Item> items, const ProcessFn& process) {
     // null-data path the oversized escape hatch uses — the callback works
     // directly out of far memory.
     for (const Item& it : items) {
+      // Cancellation checkpoint: between direct items nothing is staged or
+      // in flight, so an unwind here touches no DMA state.
+      m_.poll_cancel();
       ++stats_.fallback_direct;
       process(it, nullptr, WorkerHook{});
     }
@@ -108,6 +111,10 @@ void Stager::run(std::span<const Item> items, const ProcessFn& process) {
   bool prefetched = false;  // bufs_[cur] already holds this item's data
   bool pipeline_ran = false;
   for (std::size_t i = 0; i < items.size(); ++i) {
+    // Cancellation checkpoint at the batch boundary: a prefetch posted for
+    // this item was fenced by the previous process callback's barrier, so
+    // an unwind here never abandons an in-flight DMA transfer.
+    m_.poll_cancel();
     const Item& it = items[i];
     if (it.oversized) {
       // Escape hatch: processed directly from far memory. A prefetch is

@@ -34,6 +34,12 @@
 //   * With worker_hook false, the stager posts the DMA descriptors itself
 //     from the orchestrating thread before invoking the process callback;
 //     any barrier inside the callback fences them.
+//   * run() calls Machine::poll_cancel() at the top of every batch
+//     iteration — the quiescent point where any previously posted prefetch
+//     has been fenced and no worker is running — so a cancelled or
+//     deadline-expired job unwinds between batches, never mid-DMA. The
+//     unwind rides ~Stager/release(): the buffers are returned (and, under
+//     a tenant gate, refunded) like any other early exit.
 #pragma once
 
 #include <cstddef>

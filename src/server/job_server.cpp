@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <thread>
 
 #include "common/assert.hpp"
 
@@ -18,6 +19,13 @@ struct JobHandle::State {
   std::atomic<int> status{static_cast<int>(JobStatus::kQueued)};
   std::size_t next_phase = 0;  // scheduler-owned, mutated under the server mu_
   std::string error;
+  // Lifecycle state. The token is the only field touched by non-scheduler
+  // threads (cancel/shutdown request it; checkpoints read it) — it is
+  // internally atomic. The rest is scheduler-owned like next_phase.
+  CancelToken token;
+  double model_consumed_s = 0;    // attributed modeled seconds so far
+  std::uint32_t retries_used = 0;
+  std::uint32_t fault_trips = 0;  // ScratchpadError-typed phase failures
 };
 
 struct JobServer::Tenant {
@@ -30,6 +38,10 @@ struct JobServer::Tenant {
   std::uint64_t backoff_stalls = 0;
   std::uint64_t jobs_completed = 0;
   std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_cancelled = 0;
+  std::uint64_t jobs_deadline_exceeded = 0;
+  std::uint64_t jobs_quarantined = 0;
+  std::uint64_t job_retries = 0;
   std::uint64_t phases_run = 0;
 
   PhaseStats attributed;
@@ -49,7 +61,15 @@ struct JobServer::Work {
   std::shared_ptr<JobHandle::State> job;
   const JobPhase* phase = nullptr;
   bool failed = false;
+  bool faulted = false;    // the failure was a typed ScratchpadError
+  bool cancelled = false;  // a checkpoint threw CancelledError
+  CancelReason reason = CancelReason::kNone;
   std::string error;
+  // Token budgets for this phase, computed under mu_ at pick time so
+  // execute() reads no scheduler-owned job state outside the lock.
+  double model_budget_s = 0;
+  double wall_budget_s = 0;
+  std::uint64_t reclaimed = 0;  // quota bytes handed back on unwind
   PhaseStats before, after;
   StagerStats stager_before, stager_after;
   FaultStats faults_before, faults_after;
@@ -66,8 +86,20 @@ JobStatus JobHandle::status() const {
 
 std::string JobHandle::error() const {
   TLM_REQUIRE(st_ != nullptr, "empty JobHandle");
-  const auto s = status();
-  return s == JobStatus::kFailed ? st_->error : std::string();
+  switch (status()) {
+    case JobStatus::kFailed:
+    case JobStatus::kCancelled:
+    case JobStatus::kDeadlineExceeded:
+    case JobStatus::kQuarantined:
+      return st_->error;
+    default:
+      return {};
+  }
+}
+
+void JobHandle::cancel() {
+  TLM_REQUIRE(st_ != nullptr && srv_ != nullptr, "empty JobHandle");
+  srv_->request_cancel(st_);
 }
 
 void JobHandle::wait() {
@@ -82,7 +114,8 @@ bool JobServer::settled(const std::shared_ptr<JobHandle::State>& st) {
   const auto s =
       static_cast<JobStatus>(st->status.load(std::memory_order_acquire));
   return s == JobStatus::kDone || s == JobStatus::kFailed ||
-         s == JobStatus::kRejected;
+         s == JobStatus::kRejected || s == JobStatus::kCancelled ||
+         s == JobStatus::kDeadlineExceeded || s == JobStatus::kQuarantined;
 }
 
 JobServer::JobServer(Machine& m) : JobServer(m, Options{}) {}
@@ -113,25 +146,106 @@ bool JobServer::become_combiner() {
   return true;
 }
 
+std::deque<std::shared_ptr<JobHandle::State>>::iterator
+JobServer::settle_locked(
+    Tenant& t, std::deque<std::shared_ptr<JobHandle::State>>::iterator pos,
+    JobStatus final, CancelReason reason) {
+  const std::shared_ptr<JobHandle::State> st = *pos;
+  const bool front = pos == t.queue.begin();
+  if (front && final != JobStatus::kDone) {
+    // Only the front job can own quota charges (check_job_end proves the
+    // arena empty between jobs), so off-success settlement of the front is
+    // where leaked allocations are handed back. Usually a no-op: a mid-
+    // phase unwind already reclaimed in execute(), and jobs settled before
+    // running own nothing.
+    lifecycle_.reclaimed_bytes += t.arena.reclaim();
+  }
+  // Settlement honesty: after a completed job's own frees — or the reclaim
+  // above — the tenant's charge must be zero (model.tenant_leak otherwise).
+  if (front) t.arena.check_job_end(st->spec.name);
+  switch (final) {
+    case JobStatus::kDone:
+      ++t.jobs_completed;
+      break;
+    case JobStatus::kFailed:
+      ++t.jobs_failed;
+      break;
+    case JobStatus::kCancelled:
+      ++t.jobs_cancelled;
+      ++lifecycle_.cancelled;
+      if (reason == CancelReason::kShutdown) ++lifecycle_.shutdown_cancelled;
+      break;
+    case JobStatus::kDeadlineExceeded:
+      ++t.jobs_deadline_exceeded;
+      if (reason == CancelReason::kWatchdog)
+        ++lifecycle_.watchdog_fired;
+      else
+        ++lifecycle_.deadline_expired;
+      break;
+    case JobStatus::kQuarantined:
+      ++t.jobs_quarantined;
+      ++lifecycle_.quarantined;
+      break;
+    default:
+      TLM_REQUIRE(false, "settle_locked: not a terminal status");
+  }
+  st->status.store(static_cast<int>(final), std::memory_order_release);
+  --outstanding_;
+  return t.queue.erase(pos);
+}
+
+void JobServer::sweep_locked(Tenant& t) {
+  // Cancellation and shutdown requests settle anywhere in the queue — a
+  // cancelled job behind the front must not wait for everything ahead of
+  // it to run first.
+  for (auto it = t.queue.begin(); it != t.queue.end();) {
+    const CancelReason r = (*it)->token.requested();
+    if (r == CancelReason::kCancelled || r == CancelReason::kShutdown) {
+      (*it)->error = std::string("cancelled: ") + to_string(r);
+      it = settle_locked(t, it, JobStatus::kCancelled, r);
+      continue;
+    }
+    ++it;
+  }
+  // Front-only settlements: no work left, or the modeled deadline already
+  // spent before the next phase would start.
+  while (!t.queue.empty()) {
+    const auto& st = t.queue.front();
+    if (st->next_phase == st->spec.phases.size()) {
+      settle_locked(t, t.queue.begin(), JobStatus::kDone, CancelReason::kNone);
+      continue;
+    }
+    if (st->spec.deadline_model_s > 0 &&
+        st->model_consumed_s >= st->spec.deadline_model_s) {
+      st->error = "deadline exceeded before phase " +
+                  st->spec.phases[st->next_phase].name;
+      settle_locked(t, t.queue.begin(), JobStatus::kDeadlineExceeded,
+                    CancelReason::kDeadline);
+      continue;
+    }
+    break;
+  }
+}
+
 bool JobServer::pick_next_locked(Work& w) {
   if (tenants_.empty()) return false;
   const std::size_t n = tenants_.size();
   for (std::size_t i = 0; i < n; ++i) {
     Tenant& t = *tenants_[(rr_ + i) % n];
-    // Settle zero-phase jobs inline — there is nothing to schedule.
-    while (!t.queue.empty() &&
-           t.queue.front()->next_phase == t.queue.front()->spec.phases.size()) {
-      t.arena.check_job_end(t.queue.front()->spec.name);
-      t.queue.front()->status.store(static_cast<int>(JobStatus::kDone),
-                                    std::memory_order_release);
-      t.queue.pop_front();
-      --outstanding_;
-      ++t.jobs_completed;
-    }
+    sweep_locked(t);
     if (t.queue.empty()) continue;
     w.tenant = &t;
     w.job = t.queue.front();
     w.phase = &w.job->spec.phases[w.job->next_phase];
+    // Arm-time budgets, computed here so execute() reads no scheduler-owned
+    // job state outside mu_: what remains of the modeled deadline, and the
+    // per-phase wall watchdog.
+    const JobSpec& spec = w.job->spec;
+    w.model_budget_s = spec.deadline_model_s > 0
+                           ? spec.deadline_model_s - w.job->model_consumed_s
+                           : 0;
+    w.wall_budget_s =
+        spec.wall_timeout_s > 0 ? spec.wall_timeout_s : opt_.watchdog_wall_s;
     rr_ = ((rr_ + i) % n) + 1;  // fairness: next round starts after us
     return true;
   }
@@ -146,13 +260,36 @@ void JobServer::execute(Work& w) {
   w.job->status.store(static_cast<int>(JobStatus::kRunning),
                       std::memory_order_release);
 
+  w.job->token.arm_phase(w.model_budget_s, w.wall_budget_s);
   t.arena.install();
+  machine_.set_cancel_token(&w.job->token);
   machine_.begin_phase("tenant/" + t.name + "/" + w.job->spec.name + "/" +
                        w.phase->name);
   JobContext ctx{machine_, t.arena};
   const auto t0 = std::chrono::steady_clock::now();
   try {
+    // Server-owned fault sites, consulted once per phase. slow_phase
+    // charges *modeled* stall, so a seeded schedule advances the
+    // deterministic deadline clock; stuck_dma burns *host* time (a wedged
+    // engine the model cannot see), which only the wall watchdog catches.
+    if (FaultInjector* fi = machine_.fault_injector()) {
+      machine_.charge_stall(0,
+                            fi->consult_stall(fault_site::kServerSlowPhase));
+      const double wedge = fi->consult_stall(fault_site::kServerStuckDma);
+      if (wedge > 0)
+        std::this_thread::sleep_for(std::chrono::duration<double>(wedge));
+    }
+    machine_.poll_cancel();  // entry checkpoint: pre-stalled phases stop here
     w.phase->fn(ctx);
+    machine_.poll_cancel();  // exit checkpoint: requests no inner poll saw
+  } catch (const CancelledError& e) {
+    w.cancelled = true;
+    w.reason = e.reason();
+    w.error = e.what();
+  } catch (const ScratchpadError& e) {
+    w.failed = true;
+    w.faulted = true;
+    w.error = e.what();
   } catch (const std::exception& e) {
     w.failed = true;
     w.error = e.what();
@@ -161,8 +298,16 @@ void JobServer::execute(Work& w) {
     w.error = "unknown exception";
   }
   const auto t1 = std::chrono::steady_clock::now();
+  if (w.cancelled || w.failed) {
+    // Leak-free unwinding: the phase body died before its own frees, so
+    // hand back every quota-charged allocation now — while the gate is
+    // still installed and before end_phase() audits the phase for leaks.
+    w.reclaimed = t.arena.reclaim();
+  }
   machine_.end_phase();
+  machine_.set_cancel_token(nullptr);
   t.arena.uninstall();
+  w.job->token.disarm();
 
   w.after = machine_.totals();
   w.stager_after = machine_.stager_stats();
@@ -184,24 +329,56 @@ void JobServer::finish_locked(Work& w) {
   t.phase_seconds.push_back(w.host_s);
   t.phase_model_seconds.push_back(attributed.seconds);
   ++t.phases_run;
+  w.job->model_consumed_s += attributed.seconds;
+  lifecycle_.reclaimed_bytes += w.reclaimed;
 
-  if (w.failed) {
+  const auto front = t.queue.begin();  // == w.job: the combiner is serial
+  if (w.cancelled) {
     w.job->error = w.error;
-    w.job->status.store(static_cast<int>(JobStatus::kFailed),
-                        std::memory_order_release);
-    t.queue.pop_front();
-    --outstanding_;
-    ++t.jobs_failed;
+    const bool timed_out = w.reason == CancelReason::kDeadline ||
+                           w.reason == CancelReason::kWatchdog;
+    settle_locked(t, front,
+                  timed_out ? JobStatus::kDeadlineExceeded
+                            : JobStatus::kCancelled,
+                  w.reason);
+    return;
+  }
+  if (w.failed) {
+    if (w.faulted) ++w.job->fault_trips;
+    if (w.faulted && w.job->fault_trips >= opt_.quarantine_fault_trips) {
+      // Containment: this job keeps hitting fault sites — stop feeding it
+      // admission slots and settle it out of the way.
+      w.job->error = w.error;
+      settle_locked(t, front, JobStatus::kQuarantined, CancelReason::kNone);
+      return;
+    }
+    if (w.job->retries_used < w.job->spec.max_retries) {
+      // Bounded retry: back to phase 0 with a clean arena (execute()
+      // already reclaimed the unwound charge).
+      ++w.job->retries_used;
+      ++t.job_retries;
+      ++lifecycle_.retries;
+      w.job->next_phase = 0;
+      w.job->status.store(static_cast<int>(JobStatus::kQueued),
+                          std::memory_order_release);
+      return;
+    }
+    w.job->error = w.error;
+    settle_locked(t, front, JobStatus::kFailed, CancelReason::kNone);
     return;
   }
   ++w.job->next_phase;
   if (w.job->next_phase == w.job->spec.phases.size()) {
-    t.arena.check_job_end(w.job->spec.name);
-    w.job->status.store(static_cast<int>(JobStatus::kDone),
-                        std::memory_order_release);
-    t.queue.pop_front();
-    --outstanding_;
-    ++t.jobs_completed;
+    settle_locked(t, front, JobStatus::kDone, CancelReason::kNone);
+    return;
+  }
+  if (w.job->spec.deadline_model_s > 0 &&
+      w.job->model_consumed_s >= w.job->spec.deadline_model_s) {
+    // The phase finished but spent the whole budget: the remaining phases
+    // will not run, and any retained cross-phase allocation is reclaimed.
+    w.job->error = "deadline exceeded after phase " + w.phase->name;
+    settle_locked(t, front, JobStatus::kDeadlineExceeded,
+                  CancelReason::kDeadline);
     return;
   }
   w.job->status.store(static_cast<int>(JobStatus::kQueued),
@@ -244,6 +421,7 @@ JobHandle JobServer::submit(JobSpec spec) {
   for (;;) {
     {
       MutexLock lock(mu_);
+      TLM_REQUIRE(accepting_, "submit after shutdown");
       Tenant* tenant = nullptr;
       for (const auto& t : tenants_)
         if (t->name == st->spec.tenant) tenant = t.get();
@@ -307,6 +485,45 @@ void JobServer::drain() {
   }
 }
 
+void JobServer::shutdown(ShutdownMode mode) {
+  {
+    MutexLock lock(mu_);
+    TLM_REQUIRE(accepting_, "shutdown: server already shut down");
+    accepting_ = false;
+    if (mode == ShutdownMode::kAbort) {
+      // Sweep a shutdown-cancel through every admitted job, including the
+      // front ones mid-run — they unwind at their next checkpoint. The
+      // drain below then settles everything kCancelled with its quota
+      // reclaimed. Jobs whose tokens already carry a reason keep it.
+      for (const auto& t : tenants_)
+        for (const auto& st : t->queue) st->token.request(CancelReason::kShutdown);
+    }
+  }
+  cv_.notify_all();
+  drain();
+}
+
+bool JobServer::accepting() const {
+  MutexLock lock(mu_);
+  return accepting_;
+}
+
+JobServer::LifecycleStats JobServer::lifecycle_stats() const {
+  MutexLock lock(mu_);
+  return lifecycle_;
+}
+
+void JobServer::request_cancel(const std::shared_ptr<JobHandle::State>& st) {
+  {
+    MutexLock lock(mu_);
+    ++lifecycle_.cancel_requested;
+  }
+  st->token.request(CancelReason::kCancelled);
+  // Wake combiner-role waiters so somebody sweeps the queues soon; the
+  // caller observes the settlement through wait().
+  cv_.notify_all();
+}
+
 void JobServer::check_attribution_locked() {
 #if TLM_MODEL_CHECKS_ENABLED
   // Conservation: every byte the machine counted since the server started
@@ -362,6 +579,12 @@ TenantStats JobServer::tenant_stats(const std::string& name) const {
     s.high_water_bytes = t->arena.high_water_bytes();
     s.jobs_completed = t->jobs_completed;
     s.jobs_failed = t->jobs_failed;
+    s.jobs_cancelled = t->jobs_cancelled;
+    s.jobs_deadline_exceeded = t->jobs_deadline_exceeded;
+    s.jobs_quarantined = t->jobs_quarantined;
+    s.job_retries = t->job_retries;
+    s.foreign_frees = t->arena.foreign_frees();
+    s.reclaimed_bytes = t->arena.reclaimed_bytes();
     s.phases_run = t->phases_run;
     s.degrade_level = t->stager.degrade_to_direct > 0   ? 2
                       : t->stager.degrade_to_single > 0 ? 1
@@ -397,6 +620,12 @@ void JobServer::export_metrics(obs::MetricsRegistry& reg) const {
     reg.counter(p + "high_water_bytes").add(t->arena.high_water_bytes());
     reg.counter(p + "jobs_completed").add(t->jobs_completed);
     reg.counter(p + "jobs_failed").add(t->jobs_failed);
+    reg.counter(p + "jobs_cancelled").add(t->jobs_cancelled);
+    reg.counter(p + "jobs_deadline_exceeded").add(t->jobs_deadline_exceeded);
+    reg.counter(p + "jobs_quarantined").add(t->jobs_quarantined);
+    reg.counter(p + "job_retries").add(t->job_retries);
+    reg.counter(p + "foreign_free").add(t->arena.foreign_frees());
+    reg.counter(p + "reclaimed_bytes").add(t->arena.reclaimed_bytes());
     reg.counter(p + "phases").add(t->phases_run);
     reg.counter(p + "attributed_far_bytes").add(t->attributed.far_bytes());
     reg.counter(p + "attributed_near_bytes").add(t->attributed.near_bytes());
@@ -407,6 +636,17 @@ void JobServer::export_metrics(obs::MetricsRegistry& reg) const {
                   : t->stager.degrade_to_single > 0 ? 1
                                                     : 0);
   }
+  // Server-wide lifecycle counters — the run-report surface the CI
+  // determinism gate diffs with --max-changed=0 (watchdog_fired is wall-
+  // clock-driven and only deterministic when no watchdog is armed).
+  reg.counter("cancel.requested").add(lifecycle_.cancel_requested);
+  reg.counter("cancel.settled").add(lifecycle_.cancelled);
+  reg.counter("cancel.shutdown").add(lifecycle_.shutdown_cancelled);
+  reg.counter("deadline.expired").add(lifecycle_.deadline_expired);
+  reg.counter("deadline.watchdog").add(lifecycle_.watchdog_fired);
+  reg.counter("quarantine.settled").add(lifecycle_.quarantined);
+  reg.counter("retry.attempts").add(lifecycle_.retries);
+  reg.counter("lifecycle.reclaimed_bytes").add(lifecycle_.reclaimed_bytes);
 }
 
 }  // namespace tlm::server

@@ -22,6 +22,18 @@
 // scheduling rounds as the combiner) instead of sleeping, so backoff makes
 // progress by construction; when the retry budget is exhausted with no
 // capacity the job is rejected, never dropped silently.
+//
+// Lifecycle: an admitted job is no longer fire-and-forget. Every job
+// carries a CancelToken the Machine polls at checkpoints (Stager batch
+// boundaries, phase brackets); JobHandle::cancel(), shutdown(kAbort), the
+// modeled-seconds deadline, and the wall-clock watchdog all deliver
+// through it, so a stopped job unwinds between DMA fences with its arena
+// charge reclaimed — settlement is leak-free on every path, which the
+// model.tenant_leak / model.tenant_attribution checks pin down. Failed
+// phases may retry (JobSpec::max_retries, from phase 0); a job that trips
+// fault sites Options::quarantine_fault_trips times settles kQuarantined
+// and stops consuming admission slots. DESIGN.md §15 has the state machine
+// and the stated blind spots.
 #pragma once
 
 #include <condition_variable>
@@ -32,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/thread_annotations.hpp"
 #include "obs/metrics.hpp"
 #include "scratchpad/machine.hpp"
@@ -58,6 +71,20 @@ struct JobSpec {
   std::string tenant;
   std::string name;
   std::vector<JobPhase> phases;
+
+  // ---- lifecycle knobs (all optional) ------------------------------------
+  // Bounds the job's total *modeled* seconds across its phases. Modeled
+  // time is deterministic (counters + the seeded fault schedule), so the
+  // same jobs expire at the same checkpoints in every run. 0 = no deadline.
+  double deadline_model_s = 0;
+  // Per-phase wall-clock watchdog for genuinely hung phases; overrides
+  // Options::watchdog_wall_s when nonzero. Host time — inherently
+  // nondeterministic, a last resort, not a scheduling deadline.
+  double wall_timeout_s = 0;
+  // Failed phases send the job back to phase 0 up to this many times
+  // before it settles kFailed (the arena charge is reclaimed between
+  // attempts). Fault-typed failures also count toward quarantine.
+  std::uint32_t max_retries = 0;
 };
 
 enum class JobStatus : int {
@@ -66,6 +93,9 @@ enum class JobStatus : int {
   kDone,
   kFailed,    // a phase threw; error() carries the message
   kRejected,  // admission control turned it away
+  kCancelled,          // JobHandle::cancel() or shutdown(kAbort)
+  kDeadlineExceeded,   // modeled deadline or wall watchdog expired
+  kQuarantined,        // tripped fault sites quarantine_fault_trips times
 };
 
 // Per-tenant observables, copyable snapshot (see JobServer::tenant_stats).
@@ -79,6 +109,12 @@ struct TenantStats {
   std::uint64_t high_water_bytes = 0;
   std::uint64_t jobs_completed = 0;
   std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_cancelled = 0;
+  std::uint64_t jobs_deadline_exceeded = 0;
+  std::uint64_t jobs_quarantined = 0;
+  std::uint64_t job_retries = 0;
+  std::uint64_t foreign_frees = 0;
+  std::uint64_t reclaimed_bytes = 0;
   std::uint64_t phases_run = 0;
   // Worst degradation-ladder level this tenant's phases drove any Stager
   // to: 0 = double-buffered, 1 = single, 2 = direct-from-far.
@@ -106,9 +142,21 @@ class JobHandle {
   JobStatus status() const;
   bool done() const { return status() == JobStatus::kDone; }
   bool rejected() const { return status() == JobStatus::kRejected; }
-  // Message from the phase exception when status() == kFailed, else empty.
-  // Valid once the job is settled (done/failed/rejected).
+  bool cancelled() const { return status() == JobStatus::kCancelled; }
+  bool deadline_exceeded() const {
+    return status() == JobStatus::kDeadlineExceeded;
+  }
+  bool quarantined() const { return status() == JobStatus::kQuarantined; }
+  // Diagnostic message for any off-success settlement (failed / cancelled /
+  // deadline-exceeded / quarantined), else empty. Valid once settled.
   std::string error() const;
+
+  // Requests cooperative cancellation: sticky, callable from any thread,
+  // idempotent. A queued job settles kCancelled without running; a running
+  // job unwinds at its next checkpoint (Stager batch boundary or phase
+  // bracket) with its arena charge reclaimed. Does not block — use wait()
+  // to observe the settlement.
+  void cancel();
 
   // Blocks until the job settles. The calling thread helps drain the
   // queues (combining) rather than sleeping while the server has work.
@@ -127,6 +175,31 @@ class JobServer {
     std::size_t max_outstanding = 64;       // admitted, unfinished jobs
     std::size_t max_queue_per_tenant = 32;  // ditto, per tenant
     std::uint32_t admission_retry_budget = 16;  // backoff rounds then reject
+    // Fault-typed phase failures (ScratchpadError) a single job may
+    // accumulate before it settles kQuarantined instead of retrying — the
+    // containment bound for a job that trips fault sites forever.
+    std::uint32_t quarantine_fault_trips = 3;
+    // Default per-phase wall-clock watchdog (0 = off). JobSpec's
+    // wall_timeout_s overrides per job.
+    double watchdog_wall_s = 0;
+  };
+
+  enum class ShutdownMode {
+    kDrain,  // stop accepting, run every admitted job to completion
+    kAbort,  // stop accepting, cancel all admitted jobs, settle kCancelled
+  };
+
+  // Server-wide lifecycle counters, exported as cancel.* / deadline.* /
+  // quarantine.* / retry.* through export_metrics.
+  struct LifecycleStats {
+    std::uint64_t cancel_requested = 0;   // JobHandle::cancel() calls
+    std::uint64_t cancelled = 0;          // jobs settled kCancelled
+    std::uint64_t shutdown_cancelled = 0; // subset swept by shutdown(kAbort)
+    std::uint64_t deadline_expired = 0;   // modeled-deadline settlements
+    std::uint64_t watchdog_fired = 0;     // wall-watchdog settlements
+    std::uint64_t quarantined = 0;        // jobs settled kQuarantined
+    std::uint64_t retries = 0;            // phase-0 restarts granted
+    std::uint64_t reclaimed_bytes = 0;    // quota refunded at settlement
   };
 
   explicit JobServer(Machine& m);  // default Options
@@ -152,6 +225,18 @@ class JobServer {
   // TLM_CHECK_MODEL also verifies tenant attribution conservation
   // (model.tenant_attribution).
   void drain();
+
+  // Stops accepting submissions (a later submit is a precondition
+  // violation, as is a second shutdown), then settles every admitted job:
+  // kDrain runs them to completion, kAbort sweeps a shutdown-cancel through
+  // the queues so everything settles kCancelled with its quota reclaimed.
+  // Blocks until the queues are empty; safe to call while submitters and
+  // waiters are active on other threads.
+  void shutdown(ShutdownMode mode);
+  bool accepting() const;
+
+  // Snapshot of the server-wide lifecycle counters.
+  LifecycleStats lifecycle_stats() const;
 
   // Snapshot of one tenant's counters and attribution.
   TenantStats tenant_stats(const std::string& name) const;
@@ -181,6 +266,19 @@ class JobServer {
   bool pick_next_locked(Work& w) TLM_REQUIRES(mu_);
   void execute(Work& w);
   void finish_locked(Work& w) TLM_REQUIRES(mu_);
+  // Settles the job at `pos` in t's queue with terminal status `final`
+  // (reason distinguishes the deadline/watchdog and cancel/shutdown
+  // flavours for counters); reclaims the arena charge when the settling job
+  // is the front one — the only queue position that can own charges.
+  // Returns the iterator past the erased entry.
+  std::deque<std::shared_ptr<JobHandle::State>>::iterator settle_locked(
+      Tenant& t, std::deque<std::shared_ptr<JobHandle::State>>::iterator pos,
+      JobStatus final, CancelReason reason) TLM_REQUIRES(mu_);
+  // Settles every already-decided queued job (cancel/shutdown requests
+  // anywhere, finished or deadline-expired jobs at the front) without
+  // scheduling anything.
+  void sweep_locked(Tenant& t) TLM_REQUIRES(mu_);
+  void request_cancel(const std::shared_ptr<JobHandle::State>& st);
   void check_attribution_locked() TLM_REQUIRES(mu_);
 
   Machine& machine_;
@@ -189,9 +287,11 @@ class JobServer {
   mutable Mutex mu_;
   std::condition_variable cv_;
   bool combining_ TLM_GUARDED_BY(mu_) = false;
+  bool accepting_ TLM_GUARDED_BY(mu_) = true;
   std::size_t rr_ TLM_GUARDED_BY(mu_) = 0;  // round-robin tenant cursor
   std::size_t outstanding_ TLM_GUARDED_BY(mu_) = 0;
   std::vector<std::unique_ptr<Tenant>> tenants_ TLM_GUARDED_BY(mu_);
+  LifecycleStats lifecycle_ TLM_GUARDED_BY(mu_);
 
   // Attribution bookkeeping (combiner-only, but mutated under mu_ in
   // finish_locked): the machine totals as of the last bracketed phase, and

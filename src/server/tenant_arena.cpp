@@ -84,10 +84,44 @@ void TenantArena::freed(const void* p, std::uint64_t /*block_bytes*/) {
   // padded) block length — the two must cancel exactly for the quota to
   // return to zero when every allocation is released.
   auto it = owned_.find(p);
-  if (it == owned_.end()) return;  // not ours: another tenant's pointer
+  if (it == owned_.end()) {
+    // Not ours: another tenant's pointer, a pre-server allocation, or a
+    // double-free of something already credited. Counted rather than
+    // silently dropped — a nonzero foreign_free is the observable symptom
+    // of frees routed through the wrong facade.
+    foreign_frees_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   used_.fetch_sub(it->second, std::memory_order_relaxed);
   releases_.fetch_add(1, std::memory_order_relaxed);
   owned_.erase(it);
+}
+
+std::uint64_t TenantArena::reclaim() {
+  // Snapshot first: dealloc() re-enters freed(), which erases from owned_.
+  // The quiescence contract makes the unlocked reads race-free, exactly as
+  // in the standalone try_alloc path.
+  std::vector<std::byte*> live;
+  live.reserve(owned_.size());
+  for (const auto& [p, bytes] : owned_)
+    live.push_back(static_cast<std::byte*>(const_cast<void*>(p)));
+  const std::uint64_t before = used_bytes();
+  for (std::byte* p : live) {
+    if (m_.space_of(p) == Space::Near &&
+        !m_.near_arena().live_block_of(m_.near_arena().offset_of(p))) {
+      // The block vanished behind our back — a cross-tenant free that the
+      // other facade counted as foreign. Drop the stale charge so the
+      // quota stays honest instead of double-freeing the arena block.
+      auto it = owned_.find(p);
+      used_.fetch_sub(it->second, std::memory_order_relaxed);
+      owned_.erase(it);
+      continue;
+    }
+    dealloc(p);
+  }
+  const std::uint64_t refunded = before - used_bytes();
+  reclaimed_.fetch_add(refunded, std::memory_order_relaxed);
+  return refunded;
 }
 
 void TenantArena::check_job_end([[maybe_unused]] const std::string& job) const {

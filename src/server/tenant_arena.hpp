@@ -20,6 +20,7 @@
 #include <source_location>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "common/faults.hpp"
 #include "scratchpad/machine.hpp"
@@ -80,6 +81,16 @@ class TenantArena final : public NearQuotaGate {
     dealloc(reinterpret_cast<std::byte*>(a.data()));
   }
 
+  // Frees every still-charged allocation this tenant owns and returns the
+  // bytes refunded. The scheduler calls it when a job settles off the
+  // success path (cancelled / deadline-exceeded / quarantined / about to
+  // retry), so settlement is leak-free by construction: the quota returns
+  // to zero and the arena space is handed back even though the unwound
+  // phase body never reached its own frees. Orchestrator-only and
+  // quiescent, like the standalone try_alloc path — it must not race live
+  // phase allocations.
+  std::uint64_t reclaim();
+
   // ---- gate lifecycle (the scheduler brackets each tenant phase) ---------
   // While installed, every Machine::try_alloc_near — including ones made
   // deep inside sort/kmeans/Stager code that has never heard of tenants —
@@ -105,6 +116,17 @@ class TenantArena final : public NearQuotaGate {
   }
   std::uint64_t releases() const {
     return releases_.load(std::memory_order_relaxed);
+  }
+  // Near frees observed while installed for pointers this tenant never
+  // charged. Nonzero usually means a cross-tenant free or a double-free
+  // routed through the wrong facade — counted, never credited, and exported
+  // as tenant.<name>.foreign_free.
+  std::uint64_t foreign_frees() const {
+    return foreign_frees_.load(std::memory_order_relaxed);
+  }
+  // Bytes handed back by reclaim() over this arena's lifetime.
+  std::uint64_t reclaimed_bytes() const {
+    return reclaimed_.load(std::memory_order_relaxed);
   }
 
   // ---- NearQuotaGate (called by the Machine under its alloc_mu_) ---------
@@ -132,6 +154,8 @@ class TenantArena final : public NearQuotaGate {
   std::atomic<std::uint64_t> denials_{0};
   std::atomic<std::uint64_t> grants_{0};
   std::atomic<std::uint64_t> releases_{0};
+  std::atomic<std::uint64_t> foreign_frees_{0};
+  std::atomic<std::uint64_t> reclaimed_{0};
 
   // Live quota-charged allocations: base pointer -> charged bytes. freed()
   // consults it so frees of pointers this tenant never charged (another

@@ -170,12 +170,17 @@ def main():
 
     # server-stress: the multi-tenant lane — the test_server suites plus the
     # full-scale server_mixed isolation gate (bit-identical outputs, modeled
-    # p99 within 2x solo, thrasher contained); failures keep the run report.
+    # p99 within 2x solo, thrasher contained) and the lifecycle determinism
+    # gate (two seeded deadline-chaos runs must settle identically:
+    # report_diff at --max-changed=0); failures keep the run report.
     ss = steps_text(jobs["server-stress"])
     for needle in (
         "-L test_server",
         "server_mixed",
         "--json",
+        "--deadline-ms",
+        "report_diff",
+        "--max-changed=0",
         "actions/upload-artifact",
         "failure()",
     ):

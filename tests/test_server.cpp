@@ -122,16 +122,60 @@ TEST(TenantArenaQuota, ForeignFreesAreNotCredited) {
   EXPECT_EQ(b.used_bytes(), 0u);
   EXPECT_EQ(b.releases(), 0u);
   b.uninstall();
-  // A near pointer b's gate never granted is ignored by b's freed() hook.
+  // A near pointer b's gate never granted is ignored by b's freed() hook —
+  // and counted, so misrouted frees are observable instead of silent.
   std::byte* pb = b.try_alloc(1024);
   ASSERT_NE(pb, nullptr);
   std::byte* raw = m.alloc(Space::Near, 512);
+  EXPECT_EQ(b.foreign_frees(), 0u);
   b.install();
   m.dealloc(Space::Near, raw);  // foreign: allocated gate-free
   EXPECT_EQ(b.used_bytes(), 1024u);
+  EXPECT_EQ(b.foreign_frees(), 1u);
   b.uninstall();
   b.dealloc(pb);
   EXPECT_EQ(b.used_bytes(), 0u);
+  EXPECT_EQ(b.foreign_frees(), 1u);
+  EXPECT_EQ(a.foreign_frees(), 0u);
+}
+
+TEST(TenantArenaQuota, CrossTenantFreeCountsForeignAndReclaimStaysHonest) {
+  Machine m(server_config(2));
+  TenantArena a(m, "victim", 8192);
+  TenantArena b(m, "bully", 8192);
+  std::byte* pa = a.try_alloc(4096);
+  ASSERT_NE(pa, nullptr);
+  // The double-free pathology: a's pointer freed while b's gate is
+  // installed. b counts a foreign free (never credits), a's charge goes
+  // stale — exactly what tenant.foreign_free is there to surface.
+  b.install();
+  m.dealloc(Space::Near, pa);
+  b.uninstall();
+  EXPECT_EQ(b.foreign_frees(), 1u);
+  EXPECT_EQ(b.used_bytes(), 0u);
+  EXPECT_EQ(a.used_bytes(), 4096u);  // stale: the block is gone
+  // reclaim() must drop the stale charge without double-freeing the block
+  // the arena already released.
+  a.reclaim();
+  EXPECT_EQ(a.used_bytes(), 0u);
+  EXPECT_EQ(m.near_arena().used(), 0u);
+}
+
+TEST(TenantArenaQuota, ReclaimFreesEveryChargedAllocation) {
+  Machine m(server_config(2));
+  TenantArena a(m, "leaky", 16 * 1024);
+  ASSERT_NE(a.try_alloc(4096), nullptr);
+  ASSERT_NE(a.try_alloc(2048), nullptr);
+  ASSERT_NE(a.try_alloc(1024), nullptr);
+  EXPECT_EQ(a.used_bytes(), 7168u);
+  const std::uint64_t arena_used = m.near_arena().used();
+  EXPECT_GE(arena_used, 7168u);
+  EXPECT_EQ(a.reclaim(), 7168u);
+  EXPECT_EQ(a.used_bytes(), 0u);
+  EXPECT_EQ(a.reclaimed_bytes(), 7168u);
+  EXPECT_EQ(m.near_arena().used(), 0u);
+  // Idempotent: nothing left to hand back.
+  EXPECT_EQ(a.reclaim(), 0u);
 }
 
 // ---------------------------------------------------------------------------

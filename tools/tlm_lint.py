@@ -61,6 +61,13 @@ textually over src/:
                      so it is charged against the owning tenant's quota.
                      src/server/tenant_arena.* is exempt: the facade is
                      the one place that legitimately talks to the Machine.
+  phase-loop-checkpoint  A function under src/server/ that opens a phase
+                     (begin_phase) must also poll the cooperative
+                     cancellation token (poll_cancel) somewhere in the same
+                     region. The job lifecycle's cancel / deadline /
+                     shutdown paths are delivered only at checkpoints; a
+                     server phase driver with none is uncancellable and
+                     turns every stuck job into a wedged server.
 
 Escape hatches (always give a reason after a colon):
 
@@ -245,6 +252,38 @@ def staging_violations(scrubbed):
             near += 1
         else:
             dma.append(lineno)
+    return out
+
+
+RE_BEGIN_PHASE = re.compile(r"\bbegin_phase\s*\(")
+RE_POLL_CANCEL = re.compile(r"\bpoll_cancel\s*\(")
+
+
+def phase_checkpoint_violations(scrubbed):
+    """Finds server phase drivers with no cancellation checkpoint: function
+    bodies that call begin_phase but never poll_cancel. Returns the line
+    number of the first begin_phase in each offending region.
+    """
+    def events(_, line):
+        return ([(m.start(), "begin", None)
+                 for m in RE_BEGIN_PHASE.finditer(line)]
+                + [(m.start(), "poll", None)
+                   for m in RE_POLL_CANCEL.finditer(line)])
+
+    out = []
+    begin = None
+    polled = False
+    for kind, lineno, tag, _ in scan_function_regions(scrubbed, events):
+        if kind == "open":
+            begin, polled = None, False
+        elif kind == "close":
+            if begin is not None and not polled:
+                out.append(begin)
+        elif tag == "begin":
+            if begin is None:
+                begin = lineno
+        else:
+            polled = True
     return out
 
 
@@ -523,6 +562,15 @@ class Linter:
                         "test for denial or use alloc_array_near_or_far",
                         lines, file_allows)
 
+        if rp.startswith("src/server/"):
+            for lineno in phase_checkpoint_violations(scrubbed):
+                self.report(
+                    path, lineno, "phase-loop-checkpoint",
+                    "phase opened here but the region never calls "
+                    "poll_cancel — cancel/deadline/shutdown are delivered "
+                    "only at checkpoints, so this phase driver cannot be "
+                    "unwound", lines, file_allows)
+
         if not in_scratchpad:
             for lineno in staging_violations(scrubbed):
                 self.report(
@@ -551,7 +599,7 @@ RULES = [
     "raw-thread", "raw-alloc", "unaccounted-buffer", "counters-mutation",
     "split-counters-mutation", "banned-function", "include-hygiene",
     "hand-rolled-staging", "unchecked-try-alloc", "dma-fence-discipline",
-    "server-near-alloc",
+    "server-near-alloc", "phase-loop-checkpoint",
 ]
 
 
@@ -932,6 +980,55 @@ std::byte* Warmup::preheat(Machine& m) {
   std::byte* p = m.try_alloc_near(64);
   if (p == nullptr) return far_fallback_;
   return p;
+}
+""",
+    ),
+    (
+        "server-phase-loop-without-checkpoint-fires",
+        "src/server/driver.cpp",
+        "phase-loop-checkpoint",
+        """\
+void Driver::run_phase(Machine& m, const Phase& p) {
+  m.begin_phase(p.name);
+  p.fn(ctx_);
+  m.end_phase();
+}
+""",
+    ),
+    (
+        "server-phase-loop-with-checkpoint-is-clean",
+        "src/server/driver2.cpp",
+        None,
+        """\
+void Driver::run_phase(Machine& m, const Phase& p) {
+  m.begin_phase(p.name);
+  m.poll_cancel();
+  p.fn(ctx_);
+  m.poll_cancel();
+  m.end_phase();
+}
+""",
+    ),
+    (
+        "phase-loop-checkpoint-allow-escape-honored",
+        "src/server/driver3.cpp",
+        None,
+        """\
+void Driver::warmup_phase(Machine& m) {
+  // tlm-lint: allow(phase-loop-checkpoint): fixture exercising the escape
+  m.begin_phase("warmup");
+  m.end_phase();
+}
+""",
+    ),
+    (
+        "phase-loop-outside-server-is-exempt",
+        "src/sim/harness.cpp",
+        None,
+        """\
+void Harness::measure(Machine& m) {
+  m.begin_phase("measure");
+  m.end_phase();
 }
 """,
     ),
